@@ -1,0 +1,83 @@
+"""Performance benchmarks of the library itself.
+
+Unlike the table/figure benchmarks (which compare against the paper), these
+measure throughput of the hot paths so regressions in the pipeline's own
+speed are visible: packet-batch operations, campaign identification,
+fingerprinting, enrichment lookups, trace serialisation and anonymisation.
+Multiple rounds; pytest-benchmark reports the distribution.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.campaigns import identify_scans
+from repro.core.fingerprints import ToolFingerprinter
+from repro.enrichment import ScannerClassifier
+from repro.telescope import (
+    PrefixPreservingAnonymizer,
+    read_trace,
+    write_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def perf_batch(sims):
+    """A ~300k-packet capture shared by the throughput benchmarks."""
+    return sims[2020].batch
+
+
+def test_perf_identify_scans(perf_batch, benchmark):
+    """Campaign identification over a full capture (§3.4 hot path)."""
+    result = benchmark.pedantic(
+        lambda: identify_scans(perf_batch), rounds=3, iterations=1
+    )
+    assert len(result) > 100
+
+
+def test_perf_per_packet_fingerprint(perf_batch, benchmark):
+    """Vectorised per-packet tool attribution."""
+    fingerprinter = ToolFingerprinter()
+    tools = benchmark(lambda: fingerprinter.per_packet_tool(perf_batch))
+    assert tools.size == len(perf_batch)
+
+
+def test_perf_enrichment_lookup(perf_batch, sims, benchmark):
+    """Registry country lookup over every packet source."""
+    classifier = ScannerClassifier(sims[2020].registry)
+    countries = benchmark(
+        lambda: classifier.registry.country_of(perf_batch.src_ip)
+    )
+    assert countries.size == len(perf_batch)
+
+
+def test_perf_batch_sort_and_filter(perf_batch, benchmark):
+    """Core column-store transformations."""
+
+    def work():
+        ordered = perf_batch.sorted_by_time()
+        return ordered.where(ordered.dst_port == 80)
+
+    out = benchmark(work)
+    assert len(out) >= 0
+
+
+def test_perf_trace_roundtrip(perf_batch, benchmark, tmp_path):
+    """.rtrace serialisation round trip."""
+    path = tmp_path / "perf.rtrace"
+
+    def work():
+        write_trace(path, perf_batch, meta={"year": 2020})
+        loaded, _ = read_trace(path)
+        return loaded
+
+    loaded = benchmark.pedantic(work, rounds=3, iterations=1)
+    assert len(loaded) == len(perf_batch)
+
+
+def test_perf_anonymize(perf_batch, benchmark):
+    """Prefix-preserving anonymisation (32 PRF rounds per address)."""
+    anonymizer = PrefixPreservingAnonymizer(7)
+    out = benchmark.pedantic(
+        lambda: anonymizer.anonymize(perf_batch.src_ip), rounds=3, iterations=1
+    )
+    assert out.size == len(perf_batch)

@@ -1,0 +1,105 @@
+"""Published values from the paper, used as reference columns in benchmark
+output.  Garbled table cells (see DESIGN.md) carry the cleaned values also
+used for calibration — the comparison for those cells is rank-order only.
+"""
+
+from repro.scanners import Tool
+
+#: Table 1: telescope packets/day.
+PACKETS_PER_DAY = {
+    2015: 11e6, 2016: 19e6, 2017: 45e6, 2018: 133e6, 2019: 117e6,
+    2020: 283e6, 2021: 281e6, 2022: 285e6, 2023: 402e6, 2024: 345e6,
+}
+
+#: Table 1: observed scans/month.
+SCANS_PER_MONTH = {
+    2015: 33e3, 2016: 38e3, 2017: 252e3, 2018: 137e3, 2019: 238e3,
+    2020: 222e3, 2021: 290e3, 2022: 777e3, 2023: 727e3, 2024: 1.3e6,
+}
+
+#: Table 1: top-5 ports by packets (rank order).
+TOP_PORTS_BY_PACKETS = {
+    2015: [22, 8080, 3389, 80, 443],
+    2016: [22, 80, 3389, 1433, 8080],
+    2017: [5358, 7574, 22, 2323, 6789],
+    2018: [22, 8545, 3389, 80, 8080],
+    2019: [22, 80, 8080, 81, 3389],
+    2020: [80, 3389, 81, 22, 8080],
+    2021: [6379, 22, 80, 3389, 8080],
+    2022: [22, 80, 443, 2375, 2376],
+    2023: [22, 8080, 80, 3389, 443],
+    2024: [3389, 22, 80, 443, 8080],
+}
+
+#: Table 1: top-5 ports by sources (rank order).
+TOP_PORTS_BY_SOURCES = {
+    2015: [10073, 3389, 80, 8080, 22555],
+    2016: [21, 3389, 20012, 80, 8080],
+    2017: [7545, 2323, 5358, 22, 23231],
+    2018: [8291, 2323, 21, 22, 80],
+    2019: [80, 8080, 2323, 5555, 5900],
+    2020: [80, 8080, 81, 5555, 2323],
+    2021: [80, 8080, 5555, 81, 8443],
+    2022: [80, 8080, 5555, 81, 8443],
+    2023: [80, 8080, 52869, 60023, 2323],
+    2024: [80, 8080, 443, 2323, 5900],
+}
+
+#: Table 1: tool shares by scans.
+TOOL_SHARES_BY_SCANS = {
+    2015: {Tool.MASSCAN: 0.005, Tool.NMAP: 0.317, Tool.MIRAI: 0.0, Tool.ZMAP: 0.021},
+    2016: {Tool.MASSCAN: 0.015, Tool.NMAP: 0.128, Tool.MIRAI: 0.0, Tool.ZMAP: 0.091},
+    2017: {Tool.MASSCAN: 0.007, Tool.NMAP: 0.026, Tool.MIRAI: 0.465, Tool.ZMAP: 0.011},
+    2018: {Tool.MASSCAN: 0.209, Tool.NMAP: 0.032, Tool.MIRAI: 0.192, Tool.ZMAP: 0.047},
+    2019: {Tool.MASSCAN: 0.219, Tool.NMAP: 0.036, Tool.MIRAI: 0.162, Tool.ZMAP: 0.027},
+    2020: {Tool.MASSCAN: 0.205, Tool.NMAP: 0.050, Tool.MIRAI: 0.149, Tool.ZMAP: 0.131},
+    2021: {Tool.MASSCAN: 0.251, Tool.NMAP: 0.068, Tool.MIRAI: 0.024, Tool.ZMAP: 0.092},
+    2022: {Tool.MASSCAN: 0.099, Tool.NMAP: 0.023, Tool.MIRAI: 0.010, Tool.ZMAP: 0.037},
+    2023: {Tool.MASSCAN: 0.002, Tool.NMAP: 0.0001, Tool.MIRAI: 0.390, Tool.ZMAP: 0.220},
+    2024: {Tool.MASSCAN: 0.002, Tool.NMAP: 0.0001, Tool.MIRAI: 0.053, Tool.ZMAP: 0.590},
+}
+
+#: Table 2: (sources, scans, packets) share per scanner type.
+TABLE2 = {
+    "hosting": (0.0087, 0.0561, 0.1852),
+    "enterprise": (0.0671, 0.1575, 0.0385),
+    "institutional": (0.0016, 0.0745, 0.3263),
+    "residential": (0.5492, 0.4612, 0.2339),
+    "unknown": (0.3733, 0.2507, 0.2161),
+}
+
+#: §4.1 growth headline.
+PACKET_GROWTH_10Y = 30.0
+SCAN_GROWTH_10Y = 39.0
+
+#: §5.1: fraction of sources scanning exactly one port, per year.
+SINGLE_PORT_FRACTION = {2015: 0.83, 2020: 0.74, 2022: 0.65}
+
+#: §5.1: 80→8080 coupling among port-80 scans.
+AFFINITY_80_8080 = {2015: 0.18, 2020: 0.87}
+
+#: §5.3: speed–ports correlation.
+SPEED_PORTS_R = 0.88
+
+#: §5.1: service-density / scan-intensity correlation (essentially none).
+SERVICE_DENSITY_R = 0.047
+
+#: §6.8: institutional speed multiple over the average scanner.
+INSTITUTIONAL_SPEED_RATIO = 92.0
+
+#: §6.8: fraction of scans exceeding 1,000 pps.
+OVER_1000PPS = {"residential": 0.12, "institutional": 0.84}
+
+#: Appendix A: known scanners' share of sources / traffic in 2023 and 2024.
+KNOWN_SCANNER_SHARE = {
+    2023: (0.0036, 0.5131),
+    2024: (0.0062, 0.5086),
+}
+
+#: §6.8/Figure 8: organisations covering (almost) the full port range in 2024.
+FULL_RANGE_ORGS_2024 = {"Censys", "Palo Alto Networks", "Onyphe"}
+PARTIAL_RANGE_ORGS_2024 = {"Shadowserver Foundation", "Rapid7", "Shodan"}
+
+#: §4.4 / Figure 2: over half the /16s change at least 2× week-over-week;
+#: only 20–30% are stable.
+WEEKLY_2X_FRACTION = 0.50

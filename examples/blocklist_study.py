@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Would a scanner blocklist actually help you? (§4.4, §6.6)
+
+Simulates a 2022 period and runs the blocklist workflow the paper argues
+against: collect last week's scanning IPs, block them this week, measure
+what that bought you. Then contrasts it with the one list that stays fresh
+— the acknowledged institutional scanners — and with reconstructing
+collaborative campaigns instead of counting single sources.
+
+Usage::
+
+    python examples/blocklist_study.py
+"""
+
+from repro import TelescopeWorld, analyze_simulation
+from repro._util.fmt import format_table
+from repro.core import (
+    blocklist_effectiveness,
+    institutional_filter_effectiveness,
+    merge_collaborative_scans,
+    single_source_bias,
+)
+
+
+def main() -> None:
+    world = TelescopeWorld(rng=23)
+    sim = world.simulate_year(2022, days=28, max_packets=400_000, min_scans=700)
+    analysis = analyze_simulation(sim)
+    print(f"capture: {len(analysis.study_batch):,} packets, "
+          f"{analysis.distinct_sources:,} sources, "
+          f"{len(analysis.study_scans):,} scans over {sim.days} days\n")
+
+    print("=== the naive blocklist (build one week, apply the next) ===")
+    results = blocklist_effectiveness(analysis.study_batch, build_days=7.0)
+    rows = [
+        [f"week {i} -> {i + 1}", f"{r.list_size:,}",
+         f"{r.source_hit_rate:.1%}", f"{r.packet_hit_rate:.1%}"]
+        for i, r in enumerate(results)
+    ]
+    print(format_table(["windows", "list size", "sources blocked",
+                        "packets blocked"], rows))
+    print("Most of last week's scanners are gone before the list ships —\n"
+          "their addresses are burned (hosting) or churned (residential).\n")
+
+    print("=== with distribution lag (a realistic feed delay) ===")
+    lagged = blocklist_effectiveness(analysis.study_batch, build_days=7.0,
+                                     lag_days=3.0)
+    for i, r in enumerate(lagged):
+        print(f"  lagged window {i}: sources blocked {r.source_hit_rate:.1%}, "
+              f"packets {r.packet_hit_rate:.1%}")
+
+    print("\n=== the list that works: acknowledged scanners ===")
+    inst = institutional_filter_effectiveness(analysis, build_days=7.0)
+    print(f"  {inst.list_size} institutional IPs collected in week one")
+    print(f"  block {inst.packet_hit_rate:.1%} of all subsequent packets "
+          f"({inst.source_hit_rate:.2%} of sources)")
+    print("  — stable sources, daily re-scans, published address space.\n")
+
+    print("=== counting scans vs counting campaigns (§9) ===")
+    merged = merge_collaborative_scans(analysis.study_scans)
+    bias = single_source_bias(analysis.study_scans, merged)
+    print(f"  observed scans:        {bias.observed_scans}")
+    print(f"  logical campaigns:     {bias.logical_campaigns}")
+    print(f"  counting inflation:    {bias.inflation_factor:.2f}x")
+    print(f"  collaborative groups:  {bias.collaborative_campaigns} "
+          f"(mean {bias.mean_sources_per_collaboration:.1f} hosts each)")
+
+
+if __name__ == "__main__":
+    main()

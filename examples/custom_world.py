@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Building your own scanning ecosystem with the scenario kit.
+
+The calibrated per-year configs reproduce the paper; this example shows the
+extension surface: composing cohorts with `make_cohort`, using the canned
+scenarios, and watching how each world changes what the analysis pipeline
+reports.
+
+Usage::
+
+    python examples/custom_world.py
+"""
+
+import dataclasses
+
+from repro import TelescopeWorld, Tool, analyze_simulation, summarize_period
+from repro.core import single_source_bias, type_shares
+from repro.enrichment.types import ScannerType
+from repro.simulation import (
+    ShardingSpec,
+    make_cohort,
+    scenario_sharded_sweep,
+    scenario_single_botnet,
+    year_config,
+)
+
+
+def describe(label, world, cfg, max_packets=120_000):
+    sim = world.simulate_year(0, config=cfg, max_packets=max_packets,
+                              min_scans=300)
+    analysis = analyze_simulation(sim)
+    summary = summarize_period(analysis)
+    top_tool = max(summary.tool_shares_by_scans.items(), key=lambda kv: kv[1])
+    bias = single_source_bias(analysis.study_scans)
+    print(f"{label}:")
+    print(f"  {len(sim.batch):,} packets, {len(analysis.scans)} scans, "
+          f"{analysis.distinct_sources:,} sources")
+    print(f"  dominant tool: {top_tool[0].value} ({top_tool[1]:.0%} of scans)")
+    print(f"  top port: {summary.top_ports_by_packets[0]}")
+    print(f"  single-source counting inflation: {bias.inflation_factor:.2f}x")
+    print()
+
+
+def main() -> None:
+    world = TelescopeWorld(rng=77)
+
+    # 1. A canned scenario: one botnet owns the sky.
+    describe("Mirai monoculture (scenario_single_botnet)",
+             world, scenario_single_botnet(days=7, packets_per_day=30e6,
+                                           scans_per_month=120e3))
+
+    # 2. Another: everything is sharded collaborations.
+    describe("Sharded sweeps (scenario_sharded_sweep)",
+             world, scenario_sharded_sweep(shards_mean=12.0, days=7))
+
+    # 3. Fully custom: a two-faction world built from cohorts.
+    rdp_crackers = make_cohort(
+        "rdp_crackers", ScannerType.HOSTING, Tool.MASSCAN,
+        port_weights={3389: 1.0, 3390: 0.3},
+        scan_share=0.55, packet_share=0.7,
+        median_pps=2000.0, country_weights={"RU": 0.6, "CN": 0.4},
+    )
+    iot_worm = make_cohort(
+        "iot_worm", ScannerType.RESIDENTIAL, Tool.MIRAI,
+        port_weights={8080: 0.7, 8443: 0.3},
+        scan_share=0.45, packet_share=0.3,
+        median_pps=260.0,
+        sharding=ShardingSpec(prob_sharded=0.2, mean_extra_shards=3.0),
+    )
+    base = year_config(2021, days=7)
+    custom = dataclasses.replace(
+        base,
+        cohorts=(rdp_crackers, iot_worm),
+        events=(),
+        background_port_weights={3389: 0.5, 8080: 0.5},
+    )
+    describe("Custom two-faction world", world, custom)
+
+    print("Each world went through the *same* analysis pipeline — the")
+    print("configs only shape the traffic, never the measurement.")
+
+
+if __name__ == "__main__":
+    main()

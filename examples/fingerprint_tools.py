@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Tool fingerprinting from first principles.
+
+Crafts packets with each scanning tool's wire behaviour, shows the header
+relations the paper exploits (§3.3), and runs the detectors against mixed
+traffic — including a de-fingerprinted ZMap build that evades attribution.
+
+Usage::
+
+    python examples/fingerprint_tools.py
+"""
+
+import numpy as np
+
+from repro import ToolFingerprinter
+from repro.scanners import (
+    MasscanModel,
+    MiraiModel,
+    NMapModel,
+    Tool,
+    UnicornModel,
+    ZMapModel,
+    masscan_ip_id,
+    nmap_pair_relation_holds,
+)
+from repro.telescope import PacketBatch, int_to_ip
+
+
+def craft(model, n=6, seed=1):
+    gen = np.random.default_rng(seed)
+    dst_ip = gen.integers(0x64400000, 0x64410000, n, dtype=np.uint32)
+    dst_port = np.full(n, 443, dtype=np.uint16)
+    fields = model.craft(dst_ip, dst_port)
+    return dst_ip, dst_port, fields
+
+
+def main() -> None:
+    print("=== the wire relations (paper §3.3) ===\n")
+
+    # ZMap: constant IP identification.
+    _, _, z = craft(ZMapModel(rng=1))
+    print(f"ZMap      ip_id always {z.ip_id[0]} -> {set(z.ip_id.tolist())}")
+
+    # Masscan: ip_id = dstIP ^ dstPort ^ seq.
+    dip, dpt, m = craft(MasscanModel(rng=2))
+    check = masscan_ip_id(dip, dpt, m.seq)
+    print(f"Masscan   ip_id == dstIP^dstPort^seq for all packets: "
+          f"{bool(np.all(m.ip_id == check))}")
+
+    # Mirai: seq == dstIP.
+    dip, _, mi = craft(MiraiModel(rng=3))
+    print("Mirai     seq == dstIP:")
+    for ip, seq in zip(dip[:3].tolist(), mi.seq[:3].tolist()):
+        print(f"            dst {int_to_ip(ip):>15s}  seq {seq:#010x}")
+
+    # NMap: XOR of two seqs has equal 16-bit halves (reused keystream).
+    _, _, nm = craft(NMapModel(rng=4))
+    delta = int(nm.seq[0]) ^ int(nm.seq[1])
+    print(f"NMap      seq1^seq2 = {delta:#010x}  "
+          f"low16 == high16: {nmap_pair_relation_holds(int(nm.seq[0]), int(nm.seq[1]))}")
+
+    # Unicorn: seq encodes dstIP, srcPort and dstPort.
+    dip, dpt, u = craft(UnicornModel(rng=5))
+    lhs = int(u.seq[0]) ^ int(u.seq[1])
+    rhs = (int(dip[0]) ^ int(dip[1])
+           ^ int(u.src_port[0]) ^ int(u.src_port[1])
+           ^ ((int(dpt[0]) ^ int(dpt[1])) << 16)) & 0xFFFFFFFF
+    print(f"Unicorn   seq1^seq2 == dst/port relation: {lhs == rhs}")
+
+    print("\n=== detection on mixed traffic ===\n")
+    fingerprinter = ToolFingerprinter()
+    scenarios = [
+        ("stock ZMap", ZMapModel(rng=10)),
+        ("de-fingerprinted ZMap", ZMapModel(rng=11, fingerprintable=False)),
+        ("Masscan", MasscanModel(rng=12)),
+        ("Mirai bot", MiraiModel(rng=13)),
+        ("NMap session", NMapModel(rng=14)),
+    ]
+    for label, model in scenarios:
+        dip, dpt, fields = craft(model, n=200, seed=99)
+        batch = PacketBatch(
+            time=np.arange(200, dtype=float),
+            src_ip=np.full(200, 42, dtype=np.uint32),
+            dst_ip=dip, src_port=fields.src_port, dst_port=dpt,
+            ip_id=fields.ip_id, seq=fields.seq, ttl=fields.ttl,
+            window=fields.window, flags=np.full(200, 2, dtype=np.uint8),
+        )
+        verdict = fingerprinter.fingerprint_batch(batch)
+        print(f"  {label:24s} -> {verdict.tool.value:8s} "
+              f"(match {verdict.match_fraction:.0%})")
+
+    print("\nThe de-fingerprinted build is why tool-attributable traffic "
+          "drops below 40% by 2024 (§6.1).")
+
+
+if __name__ == "__main__":
+    main()

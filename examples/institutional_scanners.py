@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Who is scanning you, and should you care? (§6.6–6.8, Figures 5–10)
+
+Simulates a 2024 period, classifies every scanning source, and answers the
+paper's institutional-scanner questions: how few sources produce how much
+traffic, which organisations cover the whole port range, who re-scans daily,
+and what that means for blocklists.
+
+Usage::
+
+    python examples/institutional_scanners.py
+"""
+
+from repro import TelescopeWorld, analyze_simulation
+from repro._util.fmt import format_table
+from repro.core.classification import (
+    capability_by_type,
+    institutional_speed_ratio,
+    type_shares,
+)
+from repro.core.institutions import known_scanner_share, org_footprints
+from repro.core.recurrence import recurrence_by_type
+from repro.enrichment.types import ScannerType
+from repro.reporting import render_table2
+
+
+def main() -> None:
+    world = TelescopeWorld(rng=19)
+    sim = world.simulate_year(2024, days=21, max_packets=700_000, min_scans=600)
+    analysis = analyze_simulation(sim)
+
+    print("=== who scans (Table 2) ===")
+    print(render_table2(type_shares(analysis)))
+
+    share = known_scanner_share(analysis)
+    print(f"\nacknowledged scanners: {share.organisations} organisations = "
+          f"{share.source_share:.2%} of sources but {share.packet_share:.0%} "
+          f"of all telescope traffic")
+    print(f"institutional scans are {institutional_speed_ratio(analysis):.0f}x "
+          f"faster than the rest on average (paper: ~92x)")
+
+    print("\n=== port-range coverage per organisation (Figure 8) ===")
+    rows = []
+    for fp in sorted(org_footprints(analysis).values(),
+                     key=lambda f: -f.port_coverage)[:12]:
+        rows.append([fp.organisation[:28], fp.sources, fp.scans,
+                     fp.distinct_ports, f"{fp.port_coverage:.1%}"])
+    print(format_table(["organisation", "ips", "scans", "ports", "coverage"],
+                       rows))
+
+    print("\n=== who comes back (Figure 6) ===")
+    recurrence = recurrence_by_type(analysis.study_scans)
+    rows = []
+    for stype in ScannerType:
+        stats = recurrence.get(stype)
+        if stats is None:
+            continue
+        rows.append([stype.value, stats.sources,
+                     f"{stats.fraction_recurring:.0%}",
+                     f"{stats.daily_mode_fraction:.0%}"])
+    print(format_table(["type", "sources", "recurring", "daily cadence"], rows))
+
+    caps = capability_by_type(analysis)
+    inst = caps.get(ScannerType.INSTITUTIONAL)
+    res = caps.get(ScannerType.RESIDENTIAL)
+    if inst and res:
+        print(f"\nspeed: institutional median {inst.speed.median_pps:,.0f} pps "
+              f"vs residential {res.speed.median_pps:,.0f} pps")
+
+    print(
+        "\nTakeaway (§6.6): non-institutional sources essentially never "
+        "return, so IP blocklists go stale before they are distributed; "
+        "filtering the handful of acknowledged organisations, however, "
+        "removes a third to a half of everything a telescope sees."
+    )
+
+
+if __name__ == "__main__":
+    main()

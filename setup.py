@@ -1,0 +1,9 @@
+from setuptools import setup
+
+# Entry points are duplicated here because the offline `setup.py develop`
+# path predates full pyproject [project.scripts] support.
+setup(
+    entry_points={
+        "console_scripts": ["repro-scan=repro.cli:main"],
+    },
+)

@@ -1,0 +1,87 @@
+"""repro — reproduction of *Have you SYN me? Characterizing Ten Years of
+Internet Scanning* (Griffioen, Koursiounis, Smaragdakis & Doerr, IMC 2024).
+
+The package splits into:
+
+* :mod:`repro.telescope` — the darknet measurement substrate (packets,
+  address space, sensor, trace IO);
+* :mod:`repro.scanners` — wire-behaviour models of the scanning tools the
+  paper fingerprints (ZMap, Masscan, NMap, Mirai, Unicorn);
+* :mod:`repro.simulation` — the calibrated ecosystem simulator standing in
+  for the proprietary ten-year traces;
+* :mod:`repro.enrichment` — synthetic registry, known-scanner feed and the
+  Appendix-A ETL;
+* :mod:`repro.core` — the paper's analysis pipeline (campaign
+  identification, tool fingerprinting, and every evaluation analysis);
+* :mod:`repro.reporting` — table renderers and figure-series extraction.
+
+Quickstart::
+
+    from repro import TelescopeWorld, analyze_simulation, summarize_period
+
+    world = TelescopeWorld(rng=7)
+    sim = world.simulate_year(2020, days=14, max_packets=200_000)
+    analysis = analyze_simulation(sim)
+    print(summarize_period(analysis))
+"""
+
+from repro.core import (
+    CampaignCriteria,
+    PeriodAnalysis,
+    ScanTable,
+    ToolFingerprinter,
+    analyze_period,
+    analyze_simulation,
+    identify_scans,
+    summarize_period,
+)
+from repro.enrichment import (
+    InternetRegistry,
+    KnownScannerFeed,
+    ScannerClassifier,
+    ScannerType,
+    build_default_registry,
+)
+from repro.scanners import Tool
+from repro.simulation import (
+    ALL_YEARS,
+    SimulationResult,
+    TelescopeWorld,
+    year_config,
+)
+from repro.telescope import (
+    PacketBatch,
+    SynPacket,
+    Telescope,
+    read_trace,
+    write_trace,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CampaignCriteria",
+    "PeriodAnalysis",
+    "ScanTable",
+    "ToolFingerprinter",
+    "analyze_period",
+    "analyze_simulation",
+    "identify_scans",
+    "summarize_period",
+    "InternetRegistry",
+    "KnownScannerFeed",
+    "ScannerClassifier",
+    "ScannerType",
+    "build_default_registry",
+    "Tool",
+    "ALL_YEARS",
+    "SimulationResult",
+    "TelescopeWorld",
+    "year_config",
+    "PacketBatch",
+    "SynPacket",
+    "Telescope",
+    "read_trace",
+    "write_trace",
+    "__version__",
+]

@@ -1,0 +1,48 @@
+"""Internal shared helpers for the :mod:`repro` package.
+
+Nothing in this package is part of the public API; external code should
+import from :mod:`repro` or its documented subpackages instead.
+"""
+
+from repro._util.rng import RandomState, as_generator, derive_rng, spawn_rngs
+from repro._util.validate import (
+    check_fraction,
+    check_non_negative,
+    check_port,
+    check_positive,
+    check_range,
+)
+from repro._util.stats import (
+    empirical_cdf,
+    fraction_at_most,
+    pearson_r,
+    quantiles,
+    weighted_choice_indices,
+)
+from repro._util.fmt import (
+    format_count,
+    format_percent,
+    format_rate_bps,
+    format_table,
+)
+
+__all__ = [
+    "RandomState",
+    "as_generator",
+    "derive_rng",
+    "spawn_rngs",
+    "check_fraction",
+    "check_non_negative",
+    "check_port",
+    "check_positive",
+    "check_range",
+    "empirical_cdf",
+    "fraction_at_most",
+    "pearson_r",
+    "quantiles",
+    "weighted_choice_indices",
+    "format_count",
+    "format_percent",
+    "format_rate_bps",
+    "format_table",
+]

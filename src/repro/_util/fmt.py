@@ -1,0 +1,64 @@
+"""Human-readable formatting used by the reporting layer and benchmarks."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_count(value: float) -> str:
+    """Format a count the way the paper does: ``11 million``, ``33 K``, ``1.3 M``."""
+    value = float(value)
+    if value >= 1e9:
+        return f"{value / 1e9:.1f} B"
+    if value >= 1e6:
+        scaled = value / 1e6
+        return f"{scaled:.0f} million" if scaled >= 10 else f"{scaled:.1f} M"
+    if value >= 1e3:
+        return f"{value / 1e3:.0f} K"
+    return f"{value:.0f}"
+
+
+def format_percent(fraction: float, digits: int = 1) -> str:
+    """Format a fraction as a percentage string, e.g. ``0.153 -> '15.3%'``."""
+    return f"{fraction * 100:.{digits}f}%"
+
+
+def format_rate_bps(bits_per_second: float) -> str:
+    """Format a bit rate: ``14 Mbps``, ``0.3 Gbps``."""
+    if bits_per_second >= 1e9:
+        return f"{bits_per_second / 1e9:.1f} Gbps"
+    if bits_per_second >= 1e6:
+        return f"{bits_per_second / 1e6:.1f} Mbps"
+    if bits_per_second >= 1e3:
+        return f"{bits_per_second / 1e3:.1f} Kbps"
+    return f"{bits_per_second:.1f} bps"
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], align_right: bool = True
+) -> str:
+    """Render a plain-text table with aligned columns.
+
+    Every row must have the same number of cells as ``headers``; cells are
+    stringified with ``str``.
+    """
+    str_rows: List[List[str]] = [[str(c) for c in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for j, cell in enumerate(cells):
+            parts.append(cell.rjust(widths[j]) if align_right and j > 0 else cell.ljust(widths[j]))
+        return "  ".join(parts).rstrip()
+
+    lines = [fmt_row(list(headers)), fmt_row(["-" * w for w in widths])]
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""Deterministic random-number plumbing.
+
+Every stochastic component in the library accepts either an integer seed or a
+:class:`numpy.random.Generator`.  The helpers here normalise both into
+generators and derive independent child streams so that adding a new
+stochastic consumer never perturbs the draws of existing ones.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+import numpy as np
+
+#: Anything accepted where a source of randomness is required.
+RandomState = Union[int, np.random.Generator, None]
+
+_DEFAULT_SEED = 0x5CA9  # arbitrary but fixed: "SCAN" leetish
+
+
+def as_generator(state: RandomState) -> np.random.Generator:
+    """Normalise ``state`` into a :class:`numpy.random.Generator`.
+
+    ``None`` maps to a fixed default seed so that library behaviour is
+    reproducible unless the caller explicitly asks for variation.  An existing
+    generator is returned as-is (shared, not copied).
+    """
+    if state is None:
+        return np.random.default_rng(_DEFAULT_SEED)
+    if isinstance(state, np.random.Generator):
+        return state
+    if isinstance(state, (int, np.integer)):
+        return np.random.default_rng(int(state))
+    raise TypeError(f"cannot build a Generator from {type(state).__name__}")
+
+
+def derive_rng(state: RandomState, *tokens: object) -> np.random.Generator:
+    """Derive an independent generator keyed by ``tokens``.
+
+    The derivation is stable: the same ``state`` and tokens always produce the
+    same stream, regardless of how many other streams were derived in between.
+    Tokens are hashed structurally (via ``repr``) so strings, ints and tuples
+    all work.
+    """
+    base = as_generator(state)
+    # Pull entropy from the base stream deterministically by hashing tokens
+    # together with a fixed draw; this avoids consuming base draws per call.
+    key = np.uint64(0x9E3779B97F4A7C15)
+    for token in tokens:
+        for byte in repr(token).encode("utf-8"):
+            key = np.uint64((int(key) ^ byte) * 0x100000001B3 % (1 << 64))
+    seed_seq = np.random.SeedSequence([int(base.bit_generator.seed_seq.entropy or 0)
+                                       if hasattr(base.bit_generator, "seed_seq") else 0,
+                                       int(key) & 0xFFFFFFFF, int(key) >> 32])
+    return np.random.default_rng(seed_seq)
+
+
+def spawn_rngs(state: RandomState, count: int) -> List[np.random.Generator]:
+    """Spawn ``count`` independent generators from ``state``."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    seq = np.random.SeedSequence(_entropy_of(state))
+    return [np.random.default_rng(child) for child in seq.spawn(count)]
+
+
+def _entropy_of(state: RandomState) -> int:
+    if state is None:
+        return _DEFAULT_SEED
+    if isinstance(state, (int, np.integer)):
+        return int(state)
+    if isinstance(state, np.random.Generator):
+        # Use a single draw as entropy; acceptable because the caller handed
+        # us a live generator and expects it to be consumed.
+        return int(state.integers(0, 2**63))
+    raise TypeError(f"cannot extract entropy from {type(state).__name__}")
+
+
+def uniform_order_statistics(
+    rng: np.random.Generator, count: int, start: float, end: float
+) -> np.ndarray:
+    """Sorted uniform samples in ``[start, end)`` — arrival times of a
+    homogeneous process conditioned on ``count`` events."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if end < start:
+        raise ValueError("end must be >= start")
+    times = rng.uniform(start, end, size=count)
+    times.sort()
+    return times

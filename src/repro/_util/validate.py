@@ -1,0 +1,63 @@
+"""Argument validation helpers.
+
+These raise ``ValueError``/``TypeError`` with uniform messages so that the
+public API fails loudly and consistently on bad input.
+"""
+
+from __future__ import annotations
+
+import numbers
+from typing import Optional
+
+
+def check_positive(name: str, value: float) -> float:
+    """Require ``value > 0``."""
+    _check_number(name, value)
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Require ``value >= 0``."""
+    _check_number(name, value)
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def check_fraction(name: str, value: float) -> float:
+    """Require ``0 <= value <= 1``."""
+    _check_number(name, value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be within [0, 1], got {value!r}")
+    return float(value)
+
+
+def check_range(
+    name: str,
+    value: float,
+    low: Optional[float] = None,
+    high: Optional[float] = None,
+) -> float:
+    """Require ``low <= value <= high`` (either bound may be ``None``)."""
+    _check_number(name, value)
+    if low is not None and value < low:
+        raise ValueError(f"{name} must be >= {low}, got {value!r}")
+    if high is not None and value > high:
+        raise ValueError(f"{name} must be <= {high}, got {value!r}")
+    return value
+
+
+def check_port(name: str, value: int) -> int:
+    """Require a valid TCP port number (0–65535)."""
+    if not isinstance(value, numbers.Integral):
+        raise TypeError(f"{name} must be an integer port, got {type(value).__name__}")
+    if not 0 <= int(value) <= 0xFFFF:
+        raise ValueError(f"{name} must be within [0, 65535], got {value!r}")
+    return int(value)
+
+
+def _check_number(name: str, value: object) -> None:
+    if isinstance(value, bool) or not isinstance(value, numbers.Real):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")

@@ -1,0 +1,268 @@
+"""Command-line interface.
+
+Four subcommands cover the simulate → capture → analyse → report loop::
+
+    repro-scan simulate --year 2020 --out capture.rtrace [--pcap capture.pcap]
+    repro-scan analyze capture.rtrace
+    repro-scan report --years 2015,2020,2024
+    repro-scan fingerprint capture.rtrace
+
+Captures produced by ``simulate`` carry their period metadata, so
+``analyze`` needs no extra flags; externally produced pcap files can be
+analysed with explicit ``--year``/``--days``.  The synthetic Internet
+registry is deterministic, so enrichment works identically across
+processes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro import __version__
+from repro.core import (
+    analyze_period,
+    analyze_simulation,
+    known_scanner_share,
+    single_source_bias,
+    summarize_period,
+    type_shares,
+)
+from repro.core.fingerprints import ToolFingerprinter
+from repro.enrichment import ScannerClassifier, build_default_registry
+from repro.reporting import (
+    render_scorecard,
+    render_table1,
+    render_table2,
+    validate_reproduction,
+)
+from repro.simulation import ALL_YEARS, TelescopeWorld
+from repro.telescope import (
+    PrefixPreservingAnonymizer,
+    read_pcap,
+    read_trace,
+    write_pcap,
+    write_trace,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-scan",
+        description="Reproduction toolkit for 'Have you SYN me?' (IMC 2024)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="generate a synthetic telescope capture")
+    sim.add_argument("--year", type=int, default=2020, choices=ALL_YEARS)
+    sim.add_argument("--days", type=int, default=14)
+    sim.add_argument("--max-packets", type=int, default=300_000)
+    sim.add_argument("--min-scans", type=int, default=600)
+    sim.add_argument("--seed", type=int, default=7)
+    sim.add_argument("--out", type=Path, required=True,
+                     help="output .rtrace path")
+    sim.add_argument("--pcap", type=Path, default=None,
+                     help="also write a pcap copy (tcpdump/Wireshark)")
+
+    ana = sub.add_parser("analyze", help="run the full pipeline over a capture")
+    ana.add_argument("capture", type=Path, help=".rtrace or .pcap file")
+    ana.add_argument("--year", type=int, default=None,
+                     help="override the capture's year metadata")
+    ana.add_argument("--days", type=int, default=None,
+                     help="override the capture's period length")
+
+    rep = sub.add_parser("report", help="simulate years and print Table 1")
+    rep.add_argument("--years", type=str, default="2015,2020,2024",
+                     help="comma-separated study years")
+    rep.add_argument("--days", type=int, default=14)
+    rep.add_argument("--max-packets", type=int, default=250_000)
+    rep.add_argument("--seed", type=int, default=7)
+
+    fpr = sub.add_parser("fingerprint", help="per-tool attribution of a capture")
+    fpr.add_argument("capture", type=Path)
+
+    val = sub.add_parser(
+        "validate",
+        help="simulate a mini decade and print the paper-claim scorecard",
+    )
+    val.add_argument("--days", type=int, default=10)
+    val.add_argument("--max-packets", type=int, default=100_000)
+    val.add_argument("--seed", type=int, default=7)
+    val.add_argument("--years", type=str, default="2015,2017,2020,2022,2024")
+
+    anon = sub.add_parser(
+        "anonymize",
+        help="prefix-preserving source-address anonymisation of a capture",
+    )
+    anon.add_argument("capture", type=Path, help="input .rtrace file")
+    anon.add_argument("--out", type=Path, required=True)
+    anon.add_argument("--key", type=int, required=True,
+                      help="64-bit anonymisation key")
+    anon.add_argument("--both-sides", action="store_true",
+                      help="also anonymise destination addresses")
+
+    return parser
+
+
+def _load_capture(path: Path):
+    """Read a capture plus its metadata from .rtrace or .pcap."""
+    if path.suffix == ".pcap":
+        return read_pcap(path), {}
+    batch, meta = read_trace(path)
+    return batch, meta
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    world = TelescopeWorld(rng=args.seed)
+    sim = world.simulate_year(
+        args.year, days=args.days, max_packets=args.max_packets,
+        min_scans=args.min_scans,
+    )
+    meta = {
+        "year": sim.year,
+        "days": sim.days,
+        "packet_scale": sim.packet_scale,
+        "scan_scale": sim.scan_scale,
+        "seed": args.seed,
+    }
+    write_trace(args.out, sim.batch, meta=meta)
+    print(f"wrote {len(sim.batch):,} packets to {args.out}")
+    if args.pcap is not None:
+        write_pcap(args.pcap, sim.batch)
+        print(f"wrote pcap copy to {args.pcap}")
+    print(f"ground truth: {len(sim.campaigns):,} campaigns, "
+          f"{sim.background_sources:,} background sources, "
+          f"SYN share {sim.syn_scan_share():.1%}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    batch, meta = _load_capture(args.capture)
+    year = args.year if args.year is not None else meta.get("year")
+    days = args.days if args.days is not None else meta.get("days")
+    if year is None or days is None:
+        print("error: capture carries no year/days metadata; "
+              "pass --year and --days", file=sys.stderr)
+        return 2
+    classifier = ScannerClassifier(build_default_registry())
+    analysis = analyze_period(batch, year=int(year), days=int(days),
+                              classifier=classifier)
+    summary = summarize_period(analysis)
+    print(render_table1({int(year): summary}))
+    print()
+    print(render_table2(type_shares(analysis)))
+    share = known_scanner_share(analysis)
+    print(f"\nknown scanners: {share.organisations} orgs, "
+          f"{share.source_share:.2%} of sources, "
+          f"{share.packet_share:.1%} of packets")
+    bias = single_source_bias(analysis.study_scans)
+    print(f"single-source counting inflation: {bias.inflation_factor:.2f}x "
+          f"({bias.collaborative_campaigns} collaborative campaigns)")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    try:
+        years = [int(y) for y in args.years.split(",") if y.strip()]
+    except ValueError:
+        print(f"error: malformed --years {args.years!r}", file=sys.stderr)
+        return 2
+    bad = [y for y in years if y not in ALL_YEARS]
+    if bad or not years:
+        print(f"error: years outside the study range: {bad}", file=sys.stderr)
+        return 2
+    world = TelescopeWorld(rng=args.seed)
+    summaries = {}
+    for year in years:
+        sim = world.simulate_year(year, days=args.days,
+                                  max_packets=args.max_packets)
+        summaries[year] = summarize_period(analyze_simulation(sim))
+        print(f"{year}: simulated {len(sim.batch):,} packets", file=sys.stderr)
+    print(render_table1(
+        summaries, scale_note="(simulation scale; volumes not projected)"
+    ))
+    return 0
+
+
+def _cmd_fingerprint(args: argparse.Namespace) -> int:
+    batch, meta = _load_capture(args.capture)
+    if len(batch) == 0:
+        print("capture is empty", file=sys.stderr)
+        return 1
+    tools = ToolFingerprinter().per_packet_tool(batch)
+    total = len(batch)
+    print(f"{total:,} packets")
+    import numpy as np
+    values, counts = np.unique([str(t) for t in tools], return_counts=True)
+    for value, count in sorted(zip(values, counts), key=lambda kv: -kv[1]):
+        print(f"  {value:10s} {count / total:6.1%}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    try:
+        years = [int(y) for y in args.years.split(",") if y.strip()]
+    except ValueError:
+        print(f"error: malformed --years {args.years!r}", file=sys.stderr)
+        return 2
+    bad = [y for y in years if y not in ALL_YEARS]
+    if bad or not years:
+        print(f"error: years outside the study range: {bad}", file=sys.stderr)
+        return 2
+    world = TelescopeWorld(rng=args.seed)
+    sims, analyses = {}, {}
+    for year in years:
+        print(f"simulating {year} ...", file=sys.stderr)
+        sims[year] = world.simulate_year(
+            year, days=args.days, max_packets=args.max_packets, min_scans=400
+        )
+        analyses[year] = analyze_simulation(sims[year])
+    checks = validate_reproduction(analyses, sims)
+    print(render_scorecard(checks))
+    return 0 if all(c.passed for c in checks) else 1
+
+
+def _cmd_anonymize(args: argparse.Namespace) -> int:
+    batch, meta = read_trace(args.capture)
+    try:
+        anonymizer = PrefixPreservingAnonymizer(args.key)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    out = anonymizer.anonymize_batch(batch, sources_only=not args.both_sides)
+    meta = dict(meta)
+    meta["anonymized"] = True
+    write_trace(args.out, out, meta=meta)
+    print(f"wrote {len(out):,} anonymised packets to {args.out}")
+    return 0
+
+
+_COMMANDS = {
+    "simulate": _cmd_simulate,
+    "analyze": _cmd_analyze,
+    "report": _cmd_report,
+    "fingerprint": _cmd_fingerprint,
+    "anonymize": _cmd_anonymize,
+    "validate": _cmd_validate,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early — not an error.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

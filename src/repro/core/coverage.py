@@ -1,0 +1,156 @@
+"""IPv4-coverage analyses (§6.4, parts of Figure 7).
+
+A scan's coverage is estimated by extrapolating the distinct telescope
+addresses it hit over the whole IPv4 space (the :class:`ScanTable` carries
+this estimate per scan).  On top of that, this module finds the *coverage
+modes* that betray logical target-space slicing — 256 collaborating sources
+each covering 1/256 of the permutation produce a vertical step in the
+coverage CDF — and the collaborating-subnet clusters behind them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.campaigns import ScanTable
+from repro.scanners.base import Tool
+from repro.telescope.addresses import slash24_of
+
+
+@dataclass(frozen=True)
+class CoverageStats:
+    """Coverage distribution summary for one group of scans."""
+
+    scans: int
+    mean: float
+    median: float
+    p90: float
+    fraction_full_ipv4: float
+
+
+def coverage_stats(coverage: np.ndarray, full_threshold: float = 0.9) -> CoverageStats:
+    """Summarise a coverage sample.
+
+    ``full_threshold`` defines "targets the entire IPv4 space"; the default
+    0.9 tolerates the sampling loss of scans that overlap the period edge.
+    """
+    if coverage.size == 0:
+        raise ValueError("no scans to summarise")
+    if not 0.0 < full_threshold <= 1.0:
+        raise ValueError("full_threshold must be in (0, 1]")
+    return CoverageStats(
+        scans=int(coverage.size),
+        mean=float(coverage.mean()),
+        median=float(np.median(coverage)),
+        p90=float(np.quantile(coverage, 0.9)),
+        fraction_full_ipv4=float(np.mean(coverage >= full_threshold)),
+    )
+
+
+def coverage_by_tool(scans: ScanTable, full_threshold: float = 0.9) -> Dict[Tool, CoverageStats]:
+    """Per-tool coverage statistics."""
+    out: Dict[Tool, CoverageStats] = {}
+    tools = scans.tool.astype(str)
+    for name in sorted(set(tools.tolist())):
+        mask = tools == name
+        out[Tool(name)] = coverage_stats(scans.coverage[mask], full_threshold)
+    return out
+
+
+@dataclass(frozen=True)
+class CoverageMode:
+    """A detected mode (vertical step) in a coverage distribution."""
+
+    coverage: float          # centre of the mode bin
+    count: int               # scans in the bin
+    excess: float            # count relative to neighbouring bins
+
+
+def coverage_modes(
+    coverage: np.ndarray,
+    n_bins: int = 200,
+    min_count: int = 10,
+    excess_factor: float = 3.0,
+) -> List[CoverageMode]:
+    """Find modes in a coverage sample (evidence of target-space slicing).
+
+    Bins are logarithmic (slicing modes live at small coverages like 1/256);
+    a bin is a mode when it holds at least ``min_count`` scans and exceeds
+    the mean of its neighbours by ``excess_factor``.
+    """
+    if n_bins < 10:
+        raise ValueError("n_bins must be >= 10")
+    cov = coverage[coverage > 0]
+    if cov.size == 0:
+        return []
+    lo = max(cov.min(), 1e-7)
+    edges = np.logspace(np.log10(lo * 0.9), np.log10(1.0), n_bins + 1)
+    hist, _ = np.histogram(cov, bins=edges)
+    modes: List[CoverageMode] = []
+    for i in range(1, n_bins - 1):
+        neighbours = (hist[i - 1] + hist[i + 1]) / 2.0
+        if hist[i] >= min_count and hist[i] > excess_factor * max(neighbours, 1.0):
+            centre = float(np.sqrt(edges[i] * edges[i + 1]))
+            modes.append(CoverageMode(centre, int(hist[i]), float(hist[i] / max(neighbours, 1.0))))
+    return modes
+
+
+@dataclass(frozen=True)
+class CollaborationCluster:
+    """Sources in one /24 jointly running what looks like a single scan."""
+
+    slash24: int
+    sources: int
+    total_coverage: float
+    mean_coverage: float
+    start: float
+    end: float
+
+
+def collaborating_subnets(
+    scans: ScanTable,
+    min_sources: int = 8,
+    time_overlap_s: float = 86_400.0,
+    coverage_cv_max: float = 0.5,
+) -> List[CollaborationCluster]:
+    """Find /24 subnets whose members scan concurrently with similar coverage.
+
+    This is the §6.4 observation operationalised: a /24 of (academic)
+    scanners collaborating on one Internet-wide sweep shows up as many
+    sources in one subnet, overlapping in time, each with nearly identical
+    coverage.  ``coverage_cv_max`` bounds the coefficient of variation of
+    member coverages.
+    """
+    if len(scans) == 0:
+        return []
+    subnets = slash24_of(scans.src_ip).astype(np.int64)
+    clusters: List[CollaborationCluster] = []
+    for subnet in np.unique(subnets):
+        mask = subnets == subnet
+        if int(mask.sum()) < min_sources:
+            continue
+        starts = scans.start[mask]
+        ends = scans.end[mask]
+        # Concurrency: the bulk of members overlap a common window.
+        window_lo, window_hi = np.median(starts), np.median(ends)
+        concurrent = (starts <= window_hi + time_overlap_s) & (ends >= window_lo - time_overlap_s)
+        if int(concurrent.sum()) < min_sources:
+            continue
+        cov = scans.coverage[mask][concurrent]
+        if cov.mean() <= 0:
+            continue
+        cv = float(cov.std() / cov.mean())
+        if cv > coverage_cv_max:
+            continue
+        clusters.append(CollaborationCluster(
+            slash24=int(subnet),
+            sources=int(concurrent.sum()),
+            total_coverage=float(cov.sum()),
+            mean_coverage=float(cov.mean()),
+            start=float(starts.min()),
+            end=float(ends.max()),
+        ))
+    return clusters

@@ -1,0 +1,155 @@
+"""Geographic origin analyses (§4.2, §5.4, §6.5).
+
+Country shares of scanning activity, per-port origin biases (the "RDP is
+scanned from China, HTTPS from the US" findings), and space-normalised
+activity (which makes the Netherlands the post-2020 outlier).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.campaigns import ScanTable
+from repro.core.pipeline import PeriodAnalysis
+from repro.enrichment.registry import InternetRegistry
+from repro.scanners.base import Tool
+
+
+def country_shares(
+    analysis: PeriodAnalysis, weight: str = "scans"
+) -> Dict[str, float]:
+    """Country shares of activity, weighted by scans, packets or sources."""
+    if weight == "scans":
+        scans = analysis.study_scans
+        if len(scans) == 0:
+            return {}
+        values, counts = np.unique(scans.country.astype(str), return_counts=True)
+        total = counts.sum()
+    elif weight == "packets":
+        batch = analysis.study_batch
+        if len(batch) == 0:
+            return {}
+        countries = analysis.classifier.registry.country_of(batch.src_ip)
+        values, counts = np.unique(countries, return_counts=True)
+        total = counts.sum()
+    elif weight == "sources":
+        batch = analysis.study_batch
+        if len(batch) == 0:
+            return {}
+        sources = np.unique(batch.src_ip)
+        countries = analysis.classifier.registry.country_of(sources)
+        values, counts = np.unique(countries, return_counts=True)
+        total = counts.sum()
+    else:
+        raise ValueError("weight must be 'scans', 'packets' or 'sources'")
+    return {str(c): float(n / total) for c, n in zip(values, counts)}
+
+
+@dataclass(frozen=True)
+class PortOriginBias:
+    """A port whose traffic predominantly originates from one country."""
+
+    port: int
+    country: str
+    share: float
+    packets: int
+
+
+def port_origin_biases(
+    analysis: PeriodAnalysis,
+    min_share: float = 0.8,
+    min_packets: int = 50,
+) -> List[PortOriginBias]:
+    """Ports where one country originates at least ``min_share`` of traffic.
+
+    §5.4: China exceeds 80% on 14,444 ports in 2022, the US on 666, Brazil
+    on 221 … — this recovers the same structure (scaled to the simulated
+    volume, hence the ``min_packets`` floor to suppress one-packet ports).
+    """
+    if not 0.5 < min_share <= 1.0:
+        raise ValueError("min_share must be in (0.5, 1]")
+    batch = analysis.study_batch
+    if len(batch) == 0:
+        return []
+    countries = analysis.classifier.registry.country_of(batch.src_ip)
+    # Integer-encode countries for a joint (port, country) bincount.
+    country_values, country_codes = np.unique(countries, return_inverse=True)
+    key = batch.dst_port.astype(np.int64) * len(country_values) + country_codes
+    joint = np.bincount(key, minlength=65536 * len(country_values))
+    joint = joint.reshape(65536, len(country_values))
+    totals = joint.sum(axis=1)
+    out: List[PortOriginBias] = []
+    eligible = np.flatnonzero(totals >= min_packets)
+    for port in eligible:
+        row = joint[port]
+        top = int(np.argmax(row))
+        share = row[top] / totals[port]
+        if share >= min_share:
+            out.append(PortOriginBias(
+                port=int(port),
+                country=str(country_values[top]),
+                share=float(share),
+                packets=int(totals[port]),
+            ))
+    return out
+
+
+def biased_port_counts_by_country(
+    biases: Sequence[PortOriginBias],
+) -> Dict[str, int]:
+    """How many >80%-biased ports each country owns (the §5.4 scoreboard)."""
+    out: Dict[str, int] = {}
+    for bias in biases:
+        out[bias.country] = out.get(bias.country, 0) + 1
+    return dict(sorted(out.items(), key=lambda kv: -kv[1]))
+
+
+def tool_country_shares(analysis: PeriodAnalysis, tool: Tool) -> Dict[str, float]:
+    """Country mix of one tool's scans (§6.5's tool-geography biases)."""
+    scans = analysis.study_scans
+    if len(scans) == 0:
+        return {}
+    mask = scans.tool.astype(str) == tool.value
+    if not np.any(mask):
+        return {}
+    values, counts = np.unique(scans.country[mask].astype(str), return_counts=True)
+    total = counts.sum()
+    return {str(c): float(n / total) for c, n in zip(values, counts)}
+
+
+def space_normalised_shares(
+    analysis: PeriodAnalysis, weight: str = "scans"
+) -> Dict[str, float]:
+    """Country activity normalised by allocated address space (§4.2).
+
+    Divides each country's share by its fraction of the registry's allocated
+    space; values above 1 mean disproportionate activity (the post-2020
+    Netherlands signal).
+    """
+    shares = country_shares(analysis, weight=weight)
+    registry = analysis.classifier.registry
+    space: Dict[str, int] = {}
+    for record in registry.records:
+        space[record.country] = space.get(record.country, 0) + record.block.size
+    total_space = sum(space.values())
+    out: Dict[str, float] = {}
+    for country, share in shares.items():
+        country_fraction = space.get(country, 0) / total_space
+        if country_fraction > 0:
+            out[country] = share / country_fraction
+    return dict(sorted(out.items(), key=lambda kv: -kv[1]))
+
+
+def port_country_share(
+    analysis: PeriodAnalysis, port: int, country: str
+) -> float:
+    """Share of a port's traffic originating from one country (NaN if quiet)."""
+    batch = analysis.study_batch
+    mask = batch.dst_port == port
+    if not np.any(mask):
+        return float("nan")
+    countries = analysis.classifier.registry.country_of(batch.src_ip[mask])
+    return float(np.mean(countries == country))

@@ -1,0 +1,115 @@
+"""Known-scanner (institutional) analyses (§6.8, Figures 8–10, Appendix A).
+
+Per acknowledged organisation: which ports it scanned, how much of the port
+range that covers, and how its footprint compares to the rest of the
+ecosystem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.pipeline import PeriodAnalysis
+
+FULL_PORT_RANGE = 65_536
+
+
+@dataclass(frozen=True)
+class OrgFootprint:
+    """One organisation's observed scanning footprint."""
+
+    organisation: str
+    sources: int
+    scans: int
+    packets: int
+    distinct_ports: int
+    port_coverage: float           # distinct_ports / 65536
+    ports: np.ndarray              # sorted distinct ports observed
+
+    @property
+    def covers_full_range(self) -> bool:
+        """Did the organisation touch (almost) every TCP port?"""
+        return self.port_coverage >= 0.99
+
+
+def org_footprints(analysis: PeriodAnalysis) -> Dict[str, OrgFootprint]:
+    """Figure 8/9/10 data: per-organisation port footprints.
+
+    Organisations come from the known-scanner feed; their packets are
+    gathered from the *raw* capture so that port coverage is not clipped by
+    the scan-identification thresholds.
+    """
+    batch = analysis.study_batch
+    feed = analysis.classifier.feed
+    if len(batch) == 0:
+        return {}
+    orgs = feed.organisation_of(batch.src_ip)
+    known_mask = orgs != ""
+
+    scans = analysis.study_scans
+    scan_orgs = np.array([str(o) for o in scans.organisation])
+
+    out: Dict[str, OrgFootprint] = {}
+    for org in sorted(set(orgs[known_mask].tolist())):
+        mask = orgs == org
+        ports = np.unique(batch.dst_port[mask]).astype(np.int64)
+        sources = int(np.unique(batch.src_ip[mask]).size)
+        n_scans = int(np.count_nonzero(scan_orgs == org))
+        out[str(org)] = OrgFootprint(
+            organisation=str(org),
+            sources=sources,
+            scans=n_scans,
+            packets=int(mask.sum()),
+            distinct_ports=int(ports.size),
+            port_coverage=float(ports.size / FULL_PORT_RANGE),
+            ports=ports,
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class KnownScannerShare:
+    """Appendix A's aggregate: known scanners vs the whole capture."""
+
+    organisations: int
+    source_share: float      # fraction of distinct sources that are known
+    packet_share: float      # fraction of telescope traffic from known orgs
+
+
+def known_scanner_share(analysis: PeriodAnalysis) -> KnownScannerShare:
+    """The ~0.4–0.6% of sources / ~51% of traffic statistic (Appendix A)."""
+    batch = analysis.study_batch
+    feed = analysis.classifier.feed
+    if len(batch) == 0:
+        return KnownScannerShare(0, 0.0, 0.0)
+    known_packets = feed.is_known(batch.src_ip)
+    unique_sources = np.unique(batch.src_ip)
+    known_sources = feed.is_known(unique_sources)
+    orgs = feed.organisation_of(unique_sources[known_sources])
+    return KnownScannerShare(
+        organisations=int(len(set(orgs.tolist()))),
+        source_share=float(known_sources.mean()),
+        packet_share=float(known_packets.mean()),
+    )
+
+
+def port_coverage_comparison(
+    footprints_a: Mapping[str, OrgFootprint],
+    footprints_b: Mapping[str, OrgFootprint],
+) -> Dict[str, Tuple[float, float]]:
+    """Year-over-year port-coverage comparison (Figures 9 vs 10).
+
+    Returns org → (coverage_a, coverage_b) for organisations present in
+    either year (0.0 where absent).
+    """
+    orgs = sorted(set(footprints_a) | set(footprints_b))
+    return {
+        org: (
+            footprints_a[org].port_coverage if org in footprints_a else 0.0,
+            footprints_b[org].port_coverage if org in footprints_b else 0.0,
+        )
+        for org in orgs
+    }

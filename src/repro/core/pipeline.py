@@ -1,0 +1,126 @@
+"""End-to-end analysis pipeline.
+
+:func:`analyze_period` is the hub every experiment goes through: it takes a
+telescope capture, identifies scans, fingerprints tools, and enriches scans
+with origin metadata.  The resulting :class:`PeriodAnalysis` is what the
+figure/table modules consume.
+
+Ports 23 and 445 are excluded from all general statistics (the telescope
+blocks them at the ingress from 2017 and the paper therefore drops them from
+every year's statistics, §3.2); :attr:`PeriodAnalysis.study_batch` is the
+capture with those ports removed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import FrozenSet, Optional
+
+import numpy as np
+
+from repro.core.campaigns import CampaignCriteria, ScanTable, identify_scans
+from repro.core.fingerprints import ToolFingerprinter
+from repro.enrichment.classify import ScannerClassifier
+from repro.enrichment.registry import build_default_registry
+from repro.telescope.packet import PacketBatch
+
+#: Ports excluded from every statistic (ingress-blocked since 2017, §3.2).
+EXCLUDED_STUDY_PORTS: FrozenSet[int] = frozenset({23, 445})
+
+
+@dataclass
+class PeriodAnalysis:
+    """Analysed view of one measurement period."""
+
+    year: int
+    days: int
+    batch: PacketBatch            # full capture (scan probes)
+    scans: ScanTable              # identified + fingerprinted + enriched
+    classifier: ScannerClassifier
+    criteria: CampaignCriteria
+
+    @cached_property
+    def study_batch(self) -> PacketBatch:
+        """The capture with study-excluded ports removed."""
+        if len(self.batch) == 0:
+            return self.batch
+        excluded = np.array(sorted(EXCLUDED_STUDY_PORTS), dtype=np.uint16)
+        return self.batch.where(~np.isin(self.batch.dst_port, excluded))
+
+    @cached_property
+    def study_scans(self) -> ScanTable:
+        """Scans whose primary port is not study-excluded."""
+        if len(self.scans) == 0:
+            return self.scans
+        excluded = np.array(sorted(EXCLUDED_STUDY_PORTS), dtype=np.uint16)
+        return self.scans.select(~np.isin(self.scans.primary_port, excluded))
+
+    @property
+    def packets_per_day(self) -> float:
+        """Scan packets per day in the study view."""
+        return len(self.study_batch) / self.days
+
+    @property
+    def scans_per_month(self) -> float:
+        """Observed scans per 30 days."""
+        return len(self.study_scans) / (self.days / 30.0)
+
+    @cached_property
+    def distinct_sources(self) -> int:
+        """Distinct source IPs in the study view (scans and background)."""
+        return self.study_batch.distinct_sources()
+
+
+def analyze_period(
+    batch: PacketBatch,
+    year: int,
+    days: int,
+    classifier: Optional[ScannerClassifier] = None,
+    criteria: Optional[CampaignCriteria] = None,
+    fingerprinter: Optional[ToolFingerprinter] = None,
+) -> PeriodAnalysis:
+    """Run the full pipeline over a capture.
+
+    Args:
+        batch: telescope scan probes (output of :meth:`Telescope.observe`).
+        year: calendar year of the capture (drives reporting only).
+        days: measurement-period length in days.
+        classifier: enrichment classifier; defaults to one over the default
+            synthetic registry.
+        criteria: campaign-identification thresholds (§3.4 defaults).
+        fingerprinter: tool fingerprinting configuration.
+    """
+    if days <= 0:
+        raise ValueError("days must be positive")
+    if classifier is None:
+        classifier = ScannerClassifier(build_default_registry())
+    criteria = criteria if criteria is not None else CampaignCriteria()
+    scans = identify_scans(batch, criteria=criteria, fingerprinter=fingerprinter)
+    scans.enrich(classifier)
+    return PeriodAnalysis(
+        year=year,
+        days=days,
+        batch=batch,
+        scans=scans,
+        classifier=classifier,
+        criteria=criteria,
+    )
+
+
+def analyze_simulation(result, criteria: Optional[CampaignCriteria] = None,
+                       fingerprinter: Optional[ToolFingerprinter] = None) -> PeriodAnalysis:
+    """Analyse a :class:`~repro.simulation.world.SimulationResult`.
+
+    Uses the simulation's own registry for enrichment so classification has a
+    consistent ground truth; the analysis still only sees packets.
+    """
+    classifier = ScannerClassifier(result.registry)
+    return analyze_period(
+        result.batch,
+        year=result.year,
+        days=result.days,
+        classifier=classifier,
+        criteria=criteria,
+        fingerprinter=fingerprinter,
+    )

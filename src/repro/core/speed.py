@@ -1,0 +1,136 @@
+"""Scan-speed analyses (§6.3, parts of Figure 7).
+
+Speeds are Internet-wide probe rates extrapolated from telescope hit rates
+(§3.4's model); the module provides per-tool statistics, cross-year trends
+(overall decline, NMap's mild increase, the top-100 acceleration), and the
+threshold fractions quoted in §6.8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro._util.stats import pearson_r, quantiles
+from repro.core.campaigns import ScanTable
+from repro.scanners.base import Tool
+
+#: 1 Gbps expressed as SYN packets/second (60-byte frames).
+GBPS_IN_PPS = 1e9 / (60 * 8)
+
+
+@dataclass(frozen=True)
+class SpeedStats:
+    """Distributional statistics for one group of scans."""
+
+    scans: int
+    median_pps: float
+    mean_pps: float
+    p90_pps: float
+    max_pps: float
+    fraction_over_1000pps: float
+    fraction_over_1gbps: float
+
+
+def speed_stats(speed_pps: np.ndarray) -> SpeedStats:
+    """Summarise a speed sample; raises on empty input."""
+    if speed_pps.size == 0:
+        raise ValueError("no scans to summarise")
+    med, p90 = quantiles(speed_pps, [0.5, 0.9])
+    return SpeedStats(
+        scans=int(speed_pps.size),
+        median_pps=float(med),
+        mean_pps=float(speed_pps.mean()),
+        p90_pps=float(p90),
+        max_pps=float(speed_pps.max()),
+        fraction_over_1000pps=float(np.mean(speed_pps > 1000.0)),
+        fraction_over_1gbps=float(np.mean(speed_pps > GBPS_IN_PPS)),
+    )
+
+
+def speed_stats_by_tool(scans: ScanTable) -> Dict[Tool, SpeedStats]:
+    """Per-tool speed statistics (§6.3's tool comparison)."""
+    out: Dict[Tool, SpeedStats] = {}
+    tools = scans.tool.astype(str)
+    for name in sorted(set(tools.tolist())):
+        mask = tools == name
+        out[Tool(name)] = speed_stats(scans.speed_pps[mask])
+    return out
+
+
+def top_k_mean_speed(scans: ScanTable, k: int = 100) -> float:
+    """Mean speed of the ``k`` fastest scans (NaN when none)."""
+    if len(scans) == 0:
+        return float("nan")
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    fastest = np.sort(scans.speed_pps)[-k:]
+    return float(fastest.mean())
+
+
+@dataclass(frozen=True)
+class SpeedTrend:
+    """A Pearson trend of some speed statistic over the years."""
+
+    years: Tuple[int, ...]
+    values: Tuple[float, ...]
+    r: float
+    p: float
+
+    @property
+    def increasing(self) -> bool:
+        return self.r > 0
+
+
+def _trend(yearly: Mapping[int, float]) -> SpeedTrend:
+    years = tuple(sorted(yearly))
+    values = tuple(float(yearly[y]) for y in years)
+    r, p = pearson_r(years, values)
+    return SpeedTrend(years=years, values=values, r=r, p=p)
+
+
+def overall_speed_trend(tables: Mapping[int, ScanTable]) -> SpeedTrend:
+    """Trend of the median scan speed across years (paper: decreasing)."""
+    yearly = {
+        year: float(np.median(t.speed_pps)) for year, t in tables.items() if len(t)
+    }
+    if len(yearly) < 2:
+        raise ValueError("trend needs at least two years with scans")
+    return _trend(yearly)
+
+
+def tool_speed_trend(tables: Mapping[int, ScanTable], tool: Tool) -> SpeedTrend:
+    """Per-tool median-speed trend (NMap is the only increasing one, §6.3)."""
+    yearly: Dict[int, float] = {}
+    for year, table in tables.items():
+        mask = table.tool.astype(str) == tool.value
+        if np.any(mask):
+            yearly[year] = float(np.median(table.speed_pps[mask]))
+    if len(yearly) < 2:
+        raise ValueError(f"trend for {tool} needs at least two years with scans")
+    return _trend(yearly)
+
+
+def top_k_speed_trend(tables: Mapping[int, ScanTable], k: int = 100) -> SpeedTrend:
+    """Trend of the top-``k`` mean speed (paper: increasing, R = 0.356)."""
+    yearly = {
+        year: top_k_mean_speed(t, k) for year, t in tables.items() if len(t) >= 1
+    }
+    if len(yearly) < 2:
+        raise ValueError("trend needs at least two years with scans")
+    return _trend(yearly)
+
+
+def nmap_faster_than_masscan(scans: ScanTable) -> Optional[bool]:
+    """§6.3's surprise: is the median NMap scan faster than Masscan's?
+
+    ``None`` when either tool is absent from the table.
+    """
+    tools = scans.tool.astype(str)
+    nmap = scans.speed_pps[tools == Tool.NMAP.value]
+    masscan = scans.speed_pps[tools == Tool.MASSCAN.value]
+    if nmap.size == 0 or masscan.size == 0:
+        return None
+    return bool(np.median(nmap) > np.median(masscan))

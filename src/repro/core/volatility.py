@@ -1,0 +1,127 @@
+"""Ecosystem volatility (§4.4, Figure 2).
+
+Aggregates scanning activity per source /16 netblock per week and measures
+week-over-week change factors for three metrics: participating source IPs,
+scans launched, and packets sent.  The paper's headline: in more than half of
+the /16s, activity changes by a factor of 2 or more from one week to the
+next; only 20–30% of netblocks are stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro._util.stats import empirical_cdf
+from repro.core.campaigns import ScanTable
+from repro.core.pipeline import PeriodAnalysis
+from repro.telescope.addresses import slash16_of
+from repro.telescope.packet import PacketBatch
+
+_WEEK_S = 7 * 86_400.0
+
+#: Metrics tracked per netblock per week.
+METRICS = ("sources", "scans", "packets")
+
+
+def weekly_slash16_counts(
+    batch: PacketBatch, scans: ScanTable, n_weeks: int
+) -> Dict[str, np.ndarray]:
+    """Per-/16, per-week activity counts.
+
+    Returns a dict of dense ``(n_blocks, n_weeks)`` arrays keyed by metric,
+    plus the block index under key ``'blocks'`` (the distinct /16 values, in
+    row order).
+    """
+    if n_weeks < 1:
+        raise ValueError("n_weeks must be >= 1")
+    blocks_all = np.unique(slash16_of(batch.src_ip)) if len(batch) else np.array([], dtype=np.int64)
+    block_index = {int(b): i for i, b in enumerate(blocks_all)}
+    n_blocks = blocks_all.size
+
+    out = {
+        "sources": np.zeros((n_blocks, n_weeks), dtype=np.int64),
+        "scans": np.zeros((n_blocks, n_weeks), dtype=np.int64),
+        "packets": np.zeros((n_blocks, n_weeks), dtype=np.int64),
+        "blocks": blocks_all.astype(np.int64),
+    }
+    if n_blocks == 0:
+        return out
+
+    # Packets and sources from the raw batch.
+    weeks = np.minimum((batch.time // _WEEK_S).astype(np.int64), n_weeks - 1)
+    blocks = slash16_of(batch.src_ip).astype(np.int64)
+    rows = np.searchsorted(blocks_all, blocks)
+    np.add.at(out["packets"], (rows, weeks), 1)
+
+    # Distinct sources per (block, week): dedupe (src, week) pairs.
+    keys = (batch.src_ip.astype(np.uint64) << np.uint64(8)) | weeks.astype(np.uint64)
+    _, first_idx = np.unique(keys, return_index=True)
+    np.add.at(out["sources"], (rows[first_idx], weeks[first_idx]), 1)
+
+    # Scans from the scan table (by start time).
+    if len(scans):
+        scan_weeks = np.minimum((scans.start // _WEEK_S).astype(np.int64), n_weeks - 1)
+        scan_blocks = slash16_of(scans.src_ip).astype(np.int64)
+        present = np.isin(scan_blocks, blocks_all)
+        scan_rows = np.searchsorted(blocks_all, scan_blocks[present])
+        np.add.at(out["scans"], (scan_rows, scan_weeks[present]), 1)
+
+    return out
+
+
+def weekly_change_factors(series: np.ndarray) -> np.ndarray:
+    """Week-over-week change factors for one metric.
+
+    For each netblock and consecutive week pair where the block is active in
+    at least one of the two weeks, the factor is ``max(a, b) / min(a, b)``
+    (``inf`` when one side is zero).  A factor of 1 means perfectly stable.
+    """
+    if series.ndim != 2:
+        raise ValueError("series must be (n_blocks, n_weeks)")
+    if series.shape[1] < 2:
+        return np.array([], dtype=float)
+    a = series[:, :-1].astype(float)
+    b = series[:, 1:].astype(float)
+    active = (a > 0) | (b > 0)
+    hi = np.maximum(a, b)[active]
+    lo = np.minimum(a, b)[active]
+    with np.errstate(divide="ignore"):
+        return np.where(lo > 0, hi / lo, np.inf)
+
+
+@dataclass(frozen=True)
+class VolatilitySummary:
+    """Figure 2's CDF data plus headline fractions for one metric."""
+
+    metric: str
+    pairs: int
+    fraction_stable: float        # factor <= 1.25 ("do more or less the same")
+    fraction_at_least_2x: float
+    fraction_at_least_3x: float
+    cdf: Tuple[np.ndarray, np.ndarray]
+
+
+def volatility_summary(analysis: PeriodAnalysis) -> Dict[str, VolatilitySummary]:
+    """Per-metric weekly-change summaries over the period."""
+    n_weeks = max(2, int(np.ceil(analysis.days / 7.0)))
+    counts = weekly_slash16_counts(analysis.study_batch, analysis.study_scans, n_weeks)
+    out: Dict[str, VolatilitySummary] = {}
+    for metric in METRICS:
+        factors = weekly_change_factors(counts[metric])
+        if factors.size == 0:
+            out[metric] = VolatilitySummary(metric, 0, 0.0, 0.0, 0.0,
+                                            (np.array([]), np.array([])))
+            continue
+        finite = factors[np.isfinite(factors)]
+        out[metric] = VolatilitySummary(
+            metric=metric,
+            pairs=int(factors.size),
+            fraction_stable=float(np.mean(factors <= 1.25)),
+            fraction_at_least_2x=float(np.mean(factors >= 2.0)),
+            fraction_at_least_3x=float(np.mean(factors >= 3.0)),
+            cdf=empirical_cdf(finite),
+        )
+    return out

@@ -1,0 +1,61 @@
+"""Enrichment substrate: synthetic registry, known-scanner feed, ETL.
+
+Replaces the proprietary GreyNoise / IPinfo / Censys-API feeds of the paper
+with a deterministic synthetic Internet registry and the Appendix-A ETL
+pipeline over pluggable data sources.
+"""
+
+from repro.enrichment.types import (
+    SCANNER_TYPE_ORDER,
+    AllocationType,
+    ScannerType,
+)
+from repro.enrichment.registry import (
+    COUNTRIES,
+    InternetRegistry,
+    PrefixRecord,
+    build_default_registry,
+)
+from repro.enrichment.knownscanners import (
+    DEFAULT_INSTITUTIONS,
+    InstitutionProfile,
+    KnownScannerFeed,
+    default_institution_allocations,
+    institutions_active_in,
+    profile_by_name,
+)
+from repro.enrichment.classify import ClassifiedSource, ScannerClassifier
+from repro.enrichment.etl import (
+    FIELD_PRIORITY,
+    Attribution,
+    DataSource,
+    EtlPipeline,
+    SourceRecord,
+    Warehouse,
+    synthesise_sources,
+)
+
+__all__ = [
+    "SCANNER_TYPE_ORDER",
+    "AllocationType",
+    "ScannerType",
+    "COUNTRIES",
+    "InternetRegistry",
+    "PrefixRecord",
+    "build_default_registry",
+    "DEFAULT_INSTITUTIONS",
+    "InstitutionProfile",
+    "KnownScannerFeed",
+    "default_institution_allocations",
+    "institutions_active_in",
+    "profile_by_name",
+    "ClassifiedSource",
+    "ScannerClassifier",
+    "Attribution",
+    "DataSource",
+    "EtlPipeline",
+    "FIELD_PRIORITY",
+    "SourceRecord",
+    "Warehouse",
+    "synthesise_sources",
+]

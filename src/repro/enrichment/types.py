@@ -1,0 +1,53 @@
+"""Shared enrichment vocabulary: allocation types and scanner types."""
+
+from __future__ import annotations
+
+import enum
+
+
+class AllocationType(str, enum.Enum):
+    """What kind of network a prefix is allocated to.
+
+    Mirrors the origin classes of the paper's Section 6.6: residential
+    telecom space, hosting/cloud providers, enterprise autonomous systems,
+    the address space of organisations known to scan (institutional), and
+    space we cannot attribute.
+    """
+
+    RESIDENTIAL = "residential"
+    HOSTING = "hosting"
+    ENTERPRISE = "enterprise"
+    INSTITUTIONAL = "institutional"
+    UNKNOWN = "unknown"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class ScannerType(str, enum.Enum):
+    """Scanner origin classes used in Table 2 and Figures 5–7.
+
+    Identical labels to :class:`AllocationType`, but semantically distinct:
+    a *scanner type* is the classifier's verdict about a scanning source,
+    which combines the known-scanner feed (institutional) with the registry's
+    allocation data (everything else).
+    """
+
+    HOSTING = "hosting"
+    ENTERPRISE = "enterprise"
+    INSTITUTIONAL = "institutional"
+    RESIDENTIAL = "residential"
+    UNKNOWN = "unknown"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Stable ordering used by tables and figures.
+SCANNER_TYPE_ORDER = (
+    ScannerType.HOSTING,
+    ScannerType.ENTERPRISE,
+    ScannerType.INSTITUTIONAL,
+    ScannerType.RESIDENTIAL,
+    ScannerType.UNKNOWN,
+)

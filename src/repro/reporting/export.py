@@ -1,0 +1,97 @@
+"""Export figure series and tables to CSV / JSON files.
+
+The benchmark harness prints tables; for downstream plotting (matplotlib,
+gnuplot, a paper's artifact repo) this module writes the same data to plain
+files. Everything is stdlib-serialisable: numpy arrays become lists,
+enums become their string values, dataclasses become dicts.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import enum
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Sequence, Union
+
+import numpy as np
+
+PathLike = Union[str, Path]
+
+
+def _plain(value: Any) -> Any:
+    """Recursively convert analysis outputs into JSON-serialisable data."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, enum.Enum):
+        return value.value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {k: _plain(v) for k, v in dataclasses.asdict(value).items()}
+    if isinstance(value, Mapping):
+        return {str(_plain(k)): _plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [_plain(v) for v in value]
+    return value
+
+
+def export_json(path: PathLike, data: Any, indent: int = 2) -> Path:
+    """Write any analysis output as JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(_plain(data), indent=indent, sort_keys=True))
+    return path
+
+
+def export_csv(
+    path: PathLike,
+    rows: Sequence[Mapping[str, Any]],
+    fieldnames: Sequence[str] = (),
+) -> Path:
+    """Write a list of row dicts as CSV; returns the path.
+
+    Field order follows ``fieldnames`` when given, else the first row's keys.
+    """
+    path = Path(path)
+    if not rows:
+        path.write_text("")
+        return path
+    names = list(fieldnames) if fieldnames else list(rows[0].keys())
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=names, extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({k: _plain(v) for k, v in row.items()})
+    return path
+
+
+def export_cdf(path: PathLike, cdf) -> Path:
+    """Write an ``(xs, ps)`` CDF pair as a two-column CSV."""
+    xs, ps = cdf
+    rows = [{"x": float(x), "p": float(p)} for x, p in zip(xs, ps)]
+    return export_csv(path, rows, fieldnames=("x", "p"))
+
+
+def export_year_summaries(path: PathLike, summaries: Mapping[int, Any]) -> Path:
+    """Write Table-1 style year summaries as CSV (one row per year)."""
+    rows: List[Dict[str, Any]] = []
+    for year in sorted(summaries):
+        summary = summaries[year]
+        row: Dict[str, Any] = {
+            "year": year,
+            "packets_per_day": summary.packets_per_day,
+            "scans_per_month": summary.scans_per_month,
+            "distinct_sources": summary.distinct_sources,
+        }
+        for rank, entry in enumerate(summary.top_ports_by_packets, 1):
+            row[f"top_pkt_port_{rank}"] = entry.port
+            row[f"top_pkt_share_{rank}"] = round(entry.share, 6)
+        for tool, share in sorted(summary.tool_shares_by_scans.items(),
+                                  key=lambda kv: str(kv[0])):
+            row[f"tool_{tool.value}_scan_share"] = round(share, 6)
+        rows.append(row)
+    names = sorted({k for row in rows for k in row}, key=lambda k: (k != "year", k))
+    return export_csv(path, rows, fieldnames=names)

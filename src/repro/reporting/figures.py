@@ -1,0 +1,119 @@
+"""Figure-series extraction.
+
+Every figure in the paper's evaluation has a function here that reduces a
+:class:`~repro.core.pipeline.PeriodAnalysis` (or several, for cross-year
+figures) into the plain data series the figure plots.  The benchmark harness
+prints these series; plotting is intentionally out of scope (no plotting
+dependency), but every function returns data directly consumable by
+matplotlib or similar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.classification import capability_by_type, port_type_distribution
+from repro.core.events import EventResponse, event_response
+from repro.core.institutions import org_footprints
+from repro.core.pipeline import PeriodAnalysis
+from repro.core.ports_analysis import ports_per_source_summary
+from repro.core.recurrence import recurrence_by_type
+from repro.core.volatility import volatility_summary
+from repro.enrichment.types import ScannerType
+from repro.scanners.base import Tool
+
+
+def figure1_event_decay(
+    analysis: PeriodAnalysis, events: Sequence[Tuple[int, int]]
+) -> Dict[int, EventResponse]:
+    """Figure 1: per-event relative activity series after disclosure."""
+    return {
+        port: event_response(analysis, port, day) for port, day in events
+    }
+
+
+def figure2_volatility_cdfs(analysis: PeriodAnalysis):
+    """Figure 2: weekly /16 change-factor CDFs for sources/scans/packets."""
+    return volatility_summary(analysis)
+
+
+def figure3_ports_per_ip(
+    analyses: Mapping[int, PeriodAnalysis]
+) -> Dict[int, Tuple[np.ndarray, np.ndarray]]:
+    """Figure 3: per-year CDF of distinct ports per source IP."""
+    return {
+        year: ports_per_source_summary(a.study_batch).cdf
+        for year, a in analyses.items()
+    }
+
+
+def figure4_tool_mix_per_port(
+    analysis: PeriodAnalysis, top_n: int = 10
+) -> Dict[int, Dict[Tool, float]]:
+    """Figure 4: traffic share per tool on the top-``top_n`` traffic ports."""
+    batch = analysis.study_batch
+    if len(batch) == 0:
+        return {}
+    ports, counts = np.unique(batch.dst_port, return_counts=True)
+    top_ports = ports[np.argsort(counts)[::-1][:top_n]]
+
+    scans = analysis.study_scans
+    out: Dict[int, Dict[Tool, float]] = {}
+    tool_values = scans.tool.astype(str)
+    for port in top_ports.tolist():
+        # Attribute each scan's packets to its tool, per primary port.
+        mask = scans.primary_port == port
+        total = scans.packets[mask].sum()
+        mix: Dict[Tool, float] = {}
+        if total > 0:
+            for name in set(tool_values[mask].tolist()):
+                sel = mask & (tool_values == name)
+                mix[Tool(name)] = float(scans.packets[sel].sum() / total)
+        out[int(port)] = mix
+    return out
+
+
+def figure5_scanner_types_per_port(
+    analysis: PeriodAnalysis, top_n: int = 15
+) -> Dict[int, Dict[ScannerType, float]]:
+    """Figure 5: scanner-type mix over the top-``top_n`` ports."""
+    return port_type_distribution(analysis, top_n=top_n)
+
+
+def figure6_recurrence(analysis: PeriodAnalysis):
+    """Figure 6: recurrence-count and downtime CDFs per scanner type."""
+    return recurrence_by_type(analysis.study_scans)
+
+
+def figure7_speed_coverage(analysis: PeriodAnalysis):
+    """Figure 7: speed and coverage statistics per scanner type."""
+    return capability_by_type(analysis)
+
+
+@dataclass(frozen=True)
+class OrgCoverageRow:
+    """One bar of the Figure 8/9/10 port-coverage charts."""
+
+    organisation: str
+    ports: int
+    coverage: float
+    sources: int
+    packets: int
+
+
+def figure8_org_port_coverage(analysis: PeriodAnalysis) -> List[OrgCoverageRow]:
+    """Figures 8–10: port-range coverage per known scanning organisation."""
+    rows = [
+        OrgCoverageRow(
+            organisation=fp.organisation,
+            ports=fp.distinct_ports,
+            coverage=fp.port_coverage,
+            sources=fp.sources,
+            packets=fp.packets,
+        )
+        for fp in org_footprints(analysis).values()
+    ]
+    return sorted(rows, key=lambda r: -r.coverage)

@@ -1,0 +1,80 @@
+"""Text renderers for the paper's tables."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro._util.fmt import format_count, format_percent, format_table
+from repro.core.classification import TypeShares
+from repro.core.ecosystem import YearSummary
+from repro.scanners.base import Tool
+
+#: Row order of the Table 1 tool block.
+TABLE1_TOOLS = (Tool.MASSCAN, Tool.NMAP, Tool.MIRAI, Tool.ZMAP)
+
+
+def render_table1(
+    summaries: Mapping[int, YearSummary],
+    scale_note: Optional[str] = None,
+) -> str:
+    """Render Table 1: volumes, top ports and tool shares per year.
+
+    ``summaries`` maps year → :class:`YearSummary` (any subset of years).
+    """
+    if not summaries:
+        raise ValueError("no summaries to render")
+    years = sorted(summaries)
+    headers = ["metric"] + [str(y) for y in years]
+    rows: List[List[str]] = []
+
+    rows.append(["Packets/day"] + [
+        format_count(summaries[y].packets_per_day) for y in years
+    ])
+    for rank in range(5):
+        cells = []
+        for y in years:
+            tops = summaries[y].top_ports_by_packets
+            cells.append(str(tops[rank]) if rank < len(tops) else "-")
+        rows.append([f"Top port by packets #{rank + 1}"] + cells)
+    for rank in range(5):
+        cells = []
+        for y in years:
+            tops = summaries[y].top_ports_by_sources
+            cells.append(str(tops[rank]) if rank < len(tops) else "-")
+        rows.append([f"Top port by sources #{rank + 1}"] + cells)
+    for rank in range(5):
+        cells = []
+        for y in years:
+            tops = summaries[y].top_ports_by_scans
+            cells.append(str(tops[rank]) if rank < len(tops) else "-")
+        rows.append([f"Top port by scans #{rank + 1}"] + cells)
+    rows.append(["Scans/month"] + [
+        format_count(summaries[y].scans_per_month) for y in years
+    ])
+    for tool in TABLE1_TOOLS:
+        rows.append([f"{tool.value} (by scans)"] + [
+            format_percent(summaries[y].tool_shares_by_scans.get(tool, 0.0))
+            for y in years
+        ])
+
+    table = format_table(headers, rows)
+    if scale_note:
+        table += f"\n\n{scale_note}"
+    return table
+
+
+def render_table2(shares: Sequence[TypeShares]) -> str:
+    """Render Table 2: per-scanner-type shares of sources, scans, packets."""
+    if not shares:
+        raise ValueError("no type shares to render")
+    headers = ["Scanner type", "Sources", "Scans", "Packets"]
+    rows = [
+        [
+            str(row.scanner_type).capitalize(),
+            format_percent(row.sources, 2),
+            format_percent(row.scans, 2),
+            format_percent(row.packets, 2),
+        ]
+        for row in shares
+    ]
+    return format_table(headers, rows)

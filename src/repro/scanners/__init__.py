@@ -1,0 +1,56 @@
+"""Scanner tool wire-behaviour models (the *generating* side of §3.3).
+
+Importing this package registers all built-in tool models; use
+:func:`model_for` to instantiate one by :class:`Tool`.
+"""
+
+from repro.scanners.base import (
+    HeaderFields,
+    ScannerToolModel,
+    TargetOrder,
+    Tool,
+    model_for,
+    register_tool,
+    registered_tools,
+)
+from repro.scanners.zmap import ZMAP_IP_ID, ZMapModel
+from repro.scanners.masscan import MasscanModel, masscan_ip_id
+from repro.scanners.nmap import NMapModel, nmap_pair_relation_holds
+from repro.scanners.mirai import STOCK_PORT_MIX, MiraiModel
+from repro.scanners.unicorn import UnicornModel, unicorn_seq
+from repro.scanners.custom import CustomToolModel
+from repro.scanners.permutation import (
+    DEFAULT_GENERATOR,
+    ZMAP_PRIME,
+    ZMapPermutation,
+    is_generator,
+    is_probable_prime,
+    shard_set,
+)
+
+__all__ = [
+    "HeaderFields",
+    "ScannerToolModel",
+    "TargetOrder",
+    "Tool",
+    "model_for",
+    "register_tool",
+    "registered_tools",
+    "ZMAP_IP_ID",
+    "ZMapModel",
+    "MasscanModel",
+    "masscan_ip_id",
+    "NMapModel",
+    "nmap_pair_relation_holds",
+    "STOCK_PORT_MIX",
+    "MiraiModel",
+    "UnicornModel",
+    "unicorn_seq",
+    "CustomToolModel",
+    "DEFAULT_GENERATOR",
+    "ZMAP_PRIME",
+    "ZMapPermutation",
+    "is_generator",
+    "is_probable_prime",
+    "shard_set",
+]

@@ -1,0 +1,144 @@
+"""Scanner tool wire-behaviour models.
+
+Each high-speed scanning tool crafts packets differently — how the IP
+Identification field is initialised, how the TCP sequence number encodes
+response-matching state, which source ports are used, and in which order
+targets are visited.  The paper's fingerprinting methodology (Section 3.3)
+exploits exactly these differences; the models here are the *generating* side,
+re-implementing each tool's published behaviour so that synthetic telescope
+traffic carries authentic fingerprints for the detectors in
+:mod:`repro.core.fingerprints` to find.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Type
+
+import numpy as np
+
+from repro._util.rng import RandomState, as_generator
+
+
+class Tool(str, enum.Enum):
+    """Scanning tools the paper tracks, plus the unknown bucket."""
+
+    ZMAP = "zmap"
+    MASSCAN = "masscan"
+    NMAP = "nmap"
+    MIRAI = "mirai"
+    UNICORN = "unicorn"
+    UNKNOWN = "unknown"
+
+    def __str__(self) -> str:  # keep table output tidy
+        return self.value
+
+
+class TargetOrder(str, enum.Enum):
+    """Order in which a scan visits its target addresses.
+
+    Lee et al. find 91% of port scanners target addresses sequentially;
+    high-speed tools instead iterate a pseudorandom permutation of the space
+    so probes (and telescope hits) are uniform in time.
+    """
+
+    SEQUENTIAL = "sequential"
+    RANDOM_PERMUTATION = "random"
+
+
+@dataclass(frozen=True)
+class HeaderFields:
+    """Vectorised header fields for a run of probe packets.
+
+    All arrays share one length (the number of probes being emitted).
+    """
+
+    src_port: np.ndarray  # uint16
+    ip_id: np.ndarray     # uint16
+    seq: np.ndarray       # uint32
+    ttl: np.ndarray       # uint8
+    window: np.ndarray    # uint16
+
+    def __post_init__(self) -> None:
+        n = self.src_port.size
+        for name in ("ip_id", "seq", "ttl", "window"):
+            if getattr(self, name).size != n:
+                raise ValueError(f"field {name} length mismatch")
+
+    @property
+    def count(self) -> int:
+        return int(self.src_port.size)
+
+
+class ScannerToolModel(abc.ABC):
+    """Base class for per-tool packet-crafting behaviour.
+
+    A model instance corresponds to one *scanner process* (one invocation of
+    the tool on one host): per-instance state such as NMap's session secret or
+    Unicorn's key lives on the instance, which is what makes the pairwise
+    fingerprint relations hold within an instance's packets.
+    """
+
+    #: Which tool this model implements.
+    tool: Tool = Tool.UNKNOWN
+    #: How the tool iterates the target space.
+    target_order: TargetOrder = TargetOrder.RANDOM_PERMUTATION
+
+    def __init__(self, rng: RandomState = None):
+        self._rng = as_generator(rng)
+
+    @abc.abstractmethod
+    def craft(self, dst_ip: np.ndarray, dst_port: np.ndarray) -> HeaderFields:
+        """Craft header fields for probes to ``dst_ip``/``dst_port`` pairs.
+
+        Inputs are uint32/uint16 arrays of equal length; the output fields
+        must satisfy the tool's fingerprint relation.
+        """
+
+    def _validate_targets(
+        self, dst_ip: np.ndarray, dst_port: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        dst_ip = np.asarray(dst_ip, dtype=np.uint32)
+        dst_port = np.asarray(dst_port, dtype=np.uint16)
+        if dst_ip.shape != dst_port.shape or dst_ip.ndim != 1:
+            raise ValueError("dst_ip and dst_port must be equal-length 1-D arrays")
+        return dst_ip, dst_port
+
+    # Shared field helpers -------------------------------------------------
+
+    def _ephemeral_src_ports(self, count: int, low: int = 32768, high: int = 61000) -> np.ndarray:
+        """Ephemeral source ports as most tools use by default."""
+        return self._rng.integers(low, high, size=count, dtype=np.uint16)
+
+    def _default_ttls(self, count: int, base: int = 64) -> np.ndarray:
+        """TTLs after a plausible path length (tools send with a fixed
+        initial TTL; the telescope sees it decremented by 5–25 hops)."""
+        hops = self._rng.integers(5, 26, size=count)
+        return (base - hops).astype(np.uint8)
+
+
+_REGISTRY: Dict[Tool, Type[ScannerToolModel]] = {}
+
+
+def register_tool(cls: Type[ScannerToolModel]) -> Type[ScannerToolModel]:
+    """Class decorator registering a model as the implementation of its tool."""
+    if cls.tool in _REGISTRY:
+        raise ValueError(f"duplicate model for tool {cls.tool}")
+    _REGISTRY[cls.tool] = cls
+    return cls
+
+
+def model_for(tool: Tool, rng: RandomState = None, **kwargs) -> ScannerToolModel:
+    """Instantiate the registered model for ``tool``."""
+    try:
+        cls = _REGISTRY[tool]
+    except KeyError:
+        raise KeyError(f"no model registered for tool {tool!r}") from None
+    return cls(rng=rng, **kwargs)
+
+
+def registered_tools() -> Tuple[Tool, ...]:
+    """Tools with a registered model, in registration order."""
+    return tuple(_REGISTRY)

@@ -1,0 +1,57 @@
+"""Custom / unknown scanner tooling.
+
+A large share of scanning — dominant in 2015, resurgent by 2023/2024 as
+actors de-fingerprint their tools (paper §6.1) — comes from bespoke programs
+whose header fields follow no tracked relation.  This model emits OS-stack
+style fields: kernel-random sequence numbers, incrementing IP-ID counters per
+host, and configurable target ordering.
+
+The incrementing IP-ID is deliberate: it is what a scanner using the normal
+socket API inherits from the kernel, and it must not systematically collide
+with the Masscan relation (which ties IP-ID to the probe tuple).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util.rng import RandomState
+from repro.scanners.base import (
+    HeaderFields,
+    ScannerToolModel,
+    TargetOrder,
+    Tool,
+    register_tool,
+)
+
+
+@register_tool
+class CustomToolModel(ScannerToolModel):
+    """A bespoke scanner with OS-default header behaviour."""
+
+    tool = Tool.UNKNOWN
+
+    def __init__(
+        self,
+        rng: RandomState = None,
+        sequential: bool = False,
+    ):
+        super().__init__(rng)
+        self.target_order = (
+            TargetOrder.SEQUENTIAL if sequential else TargetOrder.RANDOM_PERMUTATION
+        )
+        # Kernel IP-ID counter starts at a random offset per host/boot.
+        self._ip_id_counter = int(self._rng.integers(0, 2**16))
+
+    def craft(self, dst_ip: np.ndarray, dst_port: np.ndarray) -> HeaderFields:
+        dst_ip, dst_port = self._validate_targets(dst_ip, dst_port)
+        n = dst_ip.size
+        ip_id = (self._ip_id_counter + np.arange(n, dtype=np.uint32)) % (1 << 16)
+        self._ip_id_counter = int((self._ip_id_counter + n) % (1 << 16))
+        return HeaderFields(
+            src_port=self._ephemeral_src_ports(n),
+            ip_id=ip_id.astype(np.uint16),
+            seq=self._rng.integers(0, 2**32, size=n, dtype=np.uint32),
+            ttl=self._default_ttls(n, base=64),
+            window=np.full(n, 29200, dtype=np.uint16),  # linux default
+        )

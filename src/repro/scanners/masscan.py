@@ -1,0 +1,78 @@
+"""Masscan wire-behaviour model.
+
+Masscan (Graham 2014) keeps no per-connection state; instead it derives a
+"SYN cookie" sequence number from the probe tuple and initialises the IP
+Identification field as a function of destination information and TCP header
+fields, so that for every Masscan packet (Durumeric et al. 2014, paper §3.3)::
+
+    IPid = destIP ⊕ destPort ⊕ SeqNum      (truncated to 16 bits)
+
+The relation is per-packet (no pairing needed), which is why Masscan is the
+easiest tool to fingerprint and why the paper can attribute 81% of 2020-2022
+scanning traffic to it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util.rng import RandomState
+from repro.scanners.base import (
+    HeaderFields,
+    ScannerToolModel,
+    TargetOrder,
+    Tool,
+    register_tool,
+)
+
+
+def masscan_ip_id(dst_ip: np.ndarray, dst_port: np.ndarray, seq: np.ndarray) -> np.ndarray:
+    """The Masscan IP-ID relation, usable by generator and detector alike."""
+    mixed = (
+        dst_ip.astype(np.uint32)
+        ^ dst_port.astype(np.uint32)
+        ^ seq.astype(np.uint32)
+    )
+    # Fold to 16 bits the way masscan does: the IP-ID field simply truncates.
+    return (mixed & np.uint32(0xFFFF)).astype(np.uint16)
+
+
+@register_tool
+class MasscanModel(ScannerToolModel):
+    """One Masscan process (one ``entropy`` seed)."""
+
+    tool = Tool.MASSCAN
+    target_order = TargetOrder.RANDOM_PERMUTATION
+
+    def __init__(self, rng: RandomState = None):
+        super().__init__(rng)
+        # masscan's --seed entropy; feeds the syn-cookie function.
+        self._entropy = int(self._rng.integers(0, 2**63))
+
+    def craft(self, dst_ip: np.ndarray, dst_port: np.ndarray) -> HeaderFields:
+        dst_ip, dst_port = self._validate_targets(dst_ip, dst_port)
+        n = dst_ip.size
+        src_port = self._ephemeral_src_ports(n)
+        seq = self._syn_cookie(dst_ip, dst_port, src_port)
+        ip_id = masscan_ip_id(dst_ip, dst_port, seq)
+        return HeaderFields(
+            src_port=src_port,
+            ip_id=ip_id,
+            seq=seq,
+            ttl=self._default_ttls(n, base=255),
+            window=np.full(n, 1024, dtype=np.uint16),  # masscan's default
+        )
+
+    def _syn_cookie(
+        self, dst_ip: np.ndarray, dst_port: np.ndarray, src_port: np.ndarray
+    ) -> np.ndarray:
+        """Stateless sequence number keyed on the probe tuple + entropy."""
+        mixed = (
+            (dst_ip.astype(np.uint64) << np.uint64(32))
+            | (dst_port.astype(np.uint64) << np.uint64(16))
+            | src_port.astype(np.uint64)
+        )
+        mixed ^= np.uint64(self._entropy)
+        mixed *= np.uint64(0xFF51AFD7ED558CCD)
+        mixed ^= mixed >> np.uint64(33)
+        return (mixed & np.uint64(0xFFFFFFFF)).astype(np.uint32)

@@ -1,0 +1,58 @@
+"""Mirai wire-behaviour model.
+
+Mirai's self-propagation scanner (Antonakakis et al. 2017) is a tiny
+stateless routine on an embedded device.  Its hallmark — kept by virtually
+every descendant strain because nobody bothers changing it — is using the
+**destination IP address as the 32-bit TCP sequence number** (paper §3.3)::
+
+    SeqNum == destIP
+
+The original bot targets Telnet, choosing 23/TCP with probability 0.9 and
+2323/TCP with 0.1; post-source-release strains re-point the routine at
+whatever port their exploit needs, which is how the fingerprint ends up on
+99.6% of all TCP ports by 2020.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro._util.rng import RandomState
+from repro.scanners.base import (
+    HeaderFields,
+    ScannerToolModel,
+    TargetOrder,
+    Tool,
+    register_tool,
+)
+
+#: Default Mirai port mix: (port, probability) of the stock scanner.
+STOCK_PORT_MIX: Sequence = ((23, 0.9), (2323, 0.1))
+
+
+@register_tool
+class MiraiModel(ScannerToolModel):
+    """One Mirai-infected device (or a strain reusing its scan routine)."""
+
+    tool = Tool.MIRAI
+    target_order = TargetOrder.RANDOM_PERMUTATION
+
+    def craft(self, dst_ip: np.ndarray, dst_port: np.ndarray) -> HeaderFields:
+        dst_ip, dst_port = self._validate_targets(dst_ip, dst_port)
+        n = dst_ip.size
+        return HeaderFields(
+            src_port=self._ephemeral_src_ports(n, low=1024, high=65535),
+            ip_id=self._rng.integers(0, 2**16, size=n, dtype=np.uint16),
+            seq=dst_ip.astype(np.uint32),  # the fingerprint
+            ttl=self._default_ttls(n, base=64),
+            window=self._rng.integers(1024, 65535, size=n, dtype=np.uint16),
+        )
+
+    def choose_stock_ports(self, rng: Optional[np.random.Generator], count: int) -> np.ndarray:
+        """Sample destination ports with the stock 23/2323 (0.9/0.1) mix."""
+        generator = rng if rng is not None else self._rng
+        ports = np.array([p for p, _ in STOCK_PORT_MIX], dtype=np.uint16)
+        probs = np.array([w for _, w in STOCK_PORT_MIX], dtype=float)
+        return generator.choice(ports, size=count, p=probs / probs.sum())

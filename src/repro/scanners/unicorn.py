@@ -1,0 +1,68 @@
+"""Unicornscan wire-behaviour model.
+
+Unicornscan ("Unicorn") encodes source and destination host information in the
+TCP sequence number (Ghiëtte et al. 2016).  Within one instance, two packets
+satisfy (paper §3.3)::
+
+    Seq1 ⊕ Seq2 = destIP1 ⊕ destIP2 ⊕ srcPort1 ⊕ srcPort2
+                  ⊕ ((destPort1 ⊕ destPort2) << 16)
+
+This holds when each packet's sequence number is built as::
+
+    Seq = destIP ⊕ srcPort ⊕ (destPort << 16) ⊕ K
+
+for a per-instance constant ``K``, which is what this model implements.
+
+The paper finds Unicorn essentially extinct: only two distinct IP addresses
+ever used it across the full decade — the simulator's per-year configs
+reflect that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util.rng import RandomState
+from repro.scanners.base import (
+    HeaderFields,
+    ScannerToolModel,
+    TargetOrder,
+    Tool,
+    register_tool,
+)
+
+
+def unicorn_seq(
+    dst_ip: np.ndarray, dst_port: np.ndarray, src_port: np.ndarray, key: int
+) -> np.ndarray:
+    """The Unicorn sequence-number construction (generator & detector share it)."""
+    return (
+        dst_ip.astype(np.uint32)
+        ^ src_port.astype(np.uint32)
+        ^ (dst_port.astype(np.uint32) << np.uint32(16))
+        ^ np.uint32(key & 0xFFFFFFFF)
+    ).astype(np.uint32)
+
+
+@register_tool
+class UnicornModel(ScannerToolModel):
+    """One Unicornscan instance (one key)."""
+
+    tool = Tool.UNICORN
+    target_order = TargetOrder.RANDOM_PERMUTATION
+
+    def __init__(self, rng: RandomState = None):
+        super().__init__(rng)
+        self._key = int(self._rng.integers(0, 2**32))
+
+    def craft(self, dst_ip: np.ndarray, dst_port: np.ndarray) -> HeaderFields:
+        dst_ip, dst_port = self._validate_targets(dst_ip, dst_port)
+        n = dst_ip.size
+        src_port = self._ephemeral_src_ports(n)
+        return HeaderFields(
+            src_port=src_port,
+            ip_id=self._rng.integers(0, 2**16, size=n, dtype=np.uint16),
+            seq=unicorn_seq(dst_ip, dst_port, src_port, self._key),
+            ttl=self._default_ttls(n, base=64),
+            window=np.full(n, 4096, dtype=np.uint16),
+        )

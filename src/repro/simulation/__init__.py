@@ -1,0 +1,98 @@
+"""Ecosystem simulator: the synthetic stand-in for the proprietary traces.
+
+Generates per-year telescope captures whose aggregates are calibrated to the
+paper's published numbers (see DESIGN.md §2 for the substitution argument).
+"""
+
+from repro.simulation.config import (
+    ALL_YEARS,
+    DEFAULT_MAX_PACKETS,
+    DEFAULT_PERIOD_DAYS,
+    CohortConfig,
+    DisclosureEvent,
+    InstitutionalActivity,
+    ScaledYear,
+    ShardingSpec,
+    SpeedSpec,
+    YearConfig,
+    all_year_configs,
+    year_config,
+)
+from repro.simulation.ports import (
+    ALIAS_GROUPS,
+    PortSelector,
+    PortsPerScanModel,
+    alias_ports_of,
+)
+from repro.simulation.campaigns import (
+    CampaignSpec,
+    bounded_pareto_mean,
+    sample_bounded_pareto,
+    solve_pareto_low,
+    synthesize_campaign,
+)
+from repro.simulation.services import (
+    DEFAULT_SERVICE_PREVALENCE,
+    ServiceWorld,
+    VerticalScanResult,
+    vertical_scan,
+)
+from repro.simulation.backscatter import (
+    AttackSpec,
+    sample_attacks,
+    synthesize_backscatter,
+)
+from repro.simulation.scenarios import (
+    make_cohort,
+    scenario_disclosure_storm,
+    scenario_institutional_sky,
+    scenario_sharded_sweep,
+    scenario_single_botnet,
+)
+from repro.simulation.vantage import (
+    observe_campaigns,
+    rescale_campaign,
+    second_vantage,
+)
+from repro.simulation.world import SimulationResult, TelescopeWorld
+
+__all__ = [
+    "ALL_YEARS",
+    "DEFAULT_MAX_PACKETS",
+    "DEFAULT_PERIOD_DAYS",
+    "CohortConfig",
+    "DisclosureEvent",
+    "InstitutionalActivity",
+    "ScaledYear",
+    "ShardingSpec",
+    "SpeedSpec",
+    "YearConfig",
+    "all_year_configs",
+    "year_config",
+    "ALIAS_GROUPS",
+    "PortSelector",
+    "PortsPerScanModel",
+    "alias_ports_of",
+    "CampaignSpec",
+    "bounded_pareto_mean",
+    "sample_bounded_pareto",
+    "solve_pareto_low",
+    "synthesize_campaign",
+    "DEFAULT_SERVICE_PREVALENCE",
+    "ServiceWorld",
+    "VerticalScanResult",
+    "vertical_scan",
+    "AttackSpec",
+    "sample_attacks",
+    "synthesize_backscatter",
+    "make_cohort",
+    "scenario_disclosure_storm",
+    "scenario_institutional_sky",
+    "scenario_sharded_sweep",
+    "scenario_single_botnet",
+    "observe_campaigns",
+    "rescale_campaign",
+    "second_vantage",
+    "SimulationResult",
+    "TelescopeWorld",
+]

@@ -1,0 +1,146 @@
+"""Backscatter generation — the *other* kind of darknet traffic.
+
+A telescope receives two things (paper §3.2): scan probes, and **Internet
+backscatter** — the responses of DDoS victims to attack packets whose source
+addresses were spoofed uniformly over IPv4, a fraction of which land in the
+telescope's space (Moore et al.'s classic backscatter technique).  The paper
+separates the two by keeping only pure-SYN frames, noting that by now 98 %
+of unsolicited TCP traffic consists of SYN scans.
+
+This module generates the backscatter side so the sensor's separation logic
+is exercised end-to-end: victims under randomly spoofed SYN floods emit
+SYN/ACKs (open service) or RSTs (closed port) back towards the spoofed
+addresses, a telescope-share of which is captured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro._util.rng import RandomState, as_generator
+from repro._util.validate import check_fraction, check_positive
+from repro.enrichment.registry import InternetRegistry
+from repro.telescope.packet import FLAG_ACK, FLAG_RST, FLAG_SYN, PacketBatch
+from repro.telescope.sensor import Telescope
+
+#: Services typically hit by SYN floods, with relative weights.
+ATTACKED_SERVICE_WEIGHTS: Tuple[Tuple[int, float], ...] = (
+    (80, 30.0), (443, 25.0), (53, 10.0), (25, 5.0), (22, 5.0),
+    (6667, 3.0), (8080, 5.0), (27015, 4.0), (25565, 4.0), (3074, 3.0),
+)
+
+#: Share of victim responses that are SYN/ACKs (service open and answering)
+#: versus RSTs (port closed / SYN cookies exhausted).
+SYNACK_SHARE = 0.7
+
+
+@dataclass(frozen=True)
+class AttackSpec:
+    """One spoofed-source DoS attack, as seen through its backscatter."""
+
+    victim_ip: int
+    service_port: int
+    start: float
+    duration: float
+    telescope_hits: int
+
+
+def sample_attacks(
+    registry: InternetRegistry,
+    budget_packets: float,
+    period: float,
+    rng: RandomState = None,
+    mean_hits_per_attack: float = 400.0,
+) -> List[AttackSpec]:
+    """Draw a period's worth of attacks totalling ``budget_packets`` hits.
+
+    Attack sizes are heavy-tailed (a few large floods dominate, as in the
+    backscatter literature); victims are arbitrary registry addresses.
+    """
+    check_positive("period", period)
+    generator = as_generator(rng)
+    if budget_packets < 1:
+        return []
+    n_attacks = max(1, int(budget_packets / mean_hits_per_attack))
+    raw = generator.pareto(1.2, size=n_attacks) + 1.0
+    sizes = np.maximum(1, (raw / raw.sum() * budget_packets).astype(np.int64))
+
+    ports = np.array([p for p, _ in ATTACKED_SERVICE_WEIGHTS], dtype=np.int64)
+    weights = np.array([w for _, w in ATTACKED_SERVICE_WEIGHTS], dtype=float)
+    weights /= weights.sum()
+    chosen_ports = generator.choice(ports, size=n_attacks, p=weights)
+
+    victims = registry.sample_addresses(generator, n_attacks)
+    starts = generator.uniform(0.0, period, size=n_attacks)
+    durations = generator.lognormal(np.log(1800.0), 1.0, size=n_attacks)
+
+    return [
+        AttackSpec(
+            victim_ip=int(victims[i]),
+            service_port=int(chosen_ports[i]),
+            start=float(starts[i]),
+            duration=float(min(durations[i], period - starts[i] + 1.0)),
+            telescope_hits=int(sizes[i]),
+        )
+        for i in range(n_attacks)
+    ]
+
+
+def synthesize_backscatter(
+    attacks: Sequence[AttackSpec],
+    telescope: Telescope,
+    rng: RandomState = None,
+    period_end: Optional[float] = None,
+) -> PacketBatch:
+    """Materialise the telescope's view of the attacks' backscatter.
+
+    For each attack, the victim answers spoofed SYNs whose forged sources
+    were uniform over IPv4 — the responses landing in the telescope go to
+    uniform monitored addresses.  Responses come *from* the attacked
+    service port with SYN/ACK or RST flags; the "client" port and the
+    acknowledged sequence number are whatever the attacker forged, i.e.
+    random.
+    """
+    generator = as_generator(rng)
+    total = int(sum(a.telescope_hits for a in attacks))
+    if total == 0:
+        return PacketBatch.empty()
+
+    times = np.empty(total)
+    src_ip = np.empty(total, dtype=np.uint32)
+    src_port = np.empty(total, dtype=np.uint16)
+    flags = np.empty(total, dtype=np.uint8)
+    cursor = 0
+    for attack in attacks:
+        n = attack.telescope_hits
+        sl = slice(cursor, cursor + n)
+        times[sl] = generator.uniform(
+            attack.start, attack.start + max(attack.duration, 1.0), size=n
+        )
+        src_ip[sl] = attack.victim_ip
+        src_port[sl] = attack.service_port
+        synack = generator.random(n) < SYNACK_SHARE
+        flags[sl] = np.where(synack, FLAG_SYN | FLAG_ACK, FLAG_RST | FLAG_ACK)
+        cursor += n
+
+    if period_end is not None:
+        keep = times < period_end
+        times, src_ip, src_port, flags = (
+            times[keep], src_ip[keep], src_port[keep], flags[keep]
+        )
+    n = times.size
+    return PacketBatch(
+        time=times,
+        src_ip=src_ip,
+        dst_ip=telescope.sample_destinations(generator, n),
+        src_port=src_port,
+        dst_port=generator.integers(1024, 65535, size=n, dtype=np.uint16),
+        ip_id=generator.integers(0, 2**16, size=n, dtype=np.uint16),
+        seq=generator.integers(0, 2**32, size=n, dtype=np.uint32),
+        ttl=generator.integers(38, 120, size=n).astype(np.uint8),
+        window=generator.integers(1024, 65535, size=n, dtype=np.uint16),
+        flags=flags,
+    )

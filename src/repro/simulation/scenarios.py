@@ -1,0 +1,195 @@
+"""Scenario builders: compose custom ecosystems beyond the study years.
+
+The calibrated :func:`~repro.simulation.config.year_config` reproduces the
+paper; this module is the kit for building *other* worlds — a single botnet
+sweeping one port, an institutional-only sky, a disclosure-event stress test
+— without hand-writing every cohort field. Each builder returns a complete
+:class:`~repro.simulation.config.YearConfig` accepted by
+:meth:`TelescopeWorld.simulate_year(config=...)`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from repro._util.validate import check_fraction, check_positive
+from repro.enrichment.types import ScannerType
+from repro.scanners.base import Tool
+from repro.simulation.config import (
+    CohortConfig,
+    DisclosureEvent,
+    InstitutionalActivity,
+    ShardingSpec,
+    SpeedSpec,
+    YearConfig,
+    year_config,
+)
+from repro.simulation.ports import PortsPerScanModel
+
+#: A neutral ports-per-scan mixture for custom cohorts.
+DEFAULT_PORTS_PER_SCAN = PortsPerScanModel(0.8, 0.15, 0.045, 0.004, 0.001)
+
+#: A neutral origin mix for custom cohorts.
+DEFAULT_COUNTRIES: Mapping[str, float] = {
+    "US": 0.2, "CN": 0.2, "NL": 0.1, "RU": 0.1, "BR": 0.1,
+    "DE": 0.1, "IN": 0.1, "VN": 0.1,
+}
+
+
+def make_cohort(
+    name: str,
+    scanner_type: ScannerType,
+    tool: Tool,
+    port_weights: Mapping[int, float],
+    scan_share: float = 0.5,
+    packet_share: float = 0.5,
+    median_pps: float = 500.0,
+    speed_sigma: float = 1.0,
+    tail_fraction: float = 0.05,
+    alias_adoption: float = 0.3,
+    sharding: Optional[ShardingSpec] = None,
+    country_weights: Optional[Mapping[str, float]] = None,
+    ports_per_scan: Optional[PortsPerScanModel] = None,
+) -> CohortConfig:
+    """A single-tool cohort with sensible defaults for everything else."""
+    check_positive("median_pps", median_pps)
+    return CohortConfig(
+        name=name,
+        scanner_type=scanner_type,
+        scan_share=check_fraction("scan_share", scan_share),
+        packet_share=check_fraction("packet_share", packet_share),
+        tool_weights={tool: 1.0},
+        port_weights=dict(port_weights),
+        tail_fraction=tail_fraction,
+        ports_per_scan=ports_per_scan or DEFAULT_PORTS_PER_SCAN,
+        speed=SpeedSpec(median_pps=median_pps, sigma=speed_sigma),
+        country_weights=dict(country_weights or DEFAULT_COUNTRIES),
+        alias_adoption=alias_adoption,
+        sharding=sharding or ShardingSpec(),
+    )
+
+
+def scenario_single_botnet(
+    port: int = 23,
+    alt_port: int = 2323,
+    days: int = 14,
+    packets_per_day: float = 50e6,
+    scans_per_month: float = 150e3,
+    year_label: int = 2017,
+) -> YearConfig:
+    """A Mirai-style monoculture: one botnet drives nearly all scanning.
+
+    Griffioen & Doerr attribute 87% of telnet traffic to Mirai variants;
+    this scenario reproduces that world — useful for testing detection and
+    attribution logic against a single dominant actor.
+    """
+    base = year_config(year_label, days=days)
+    botnet = make_cohort(
+        "mono_botnet", ScannerType.RESIDENTIAL, Tool.MIRAI,
+        port_weights={port: 0.9, alt_port: 0.1},
+        scan_share=0.9, packet_share=0.9,
+        median_pps=260.0, speed_sigma=0.9, tail_fraction=0.0,
+        ports_per_scan=PortsPerScanModel(0.9, 0.1, 0.0, 0.0, 0.0),
+    )
+    noise = make_cohort(
+        "residual_noise", ScannerType.UNKNOWN, Tool.UNKNOWN,
+        port_weights={22: 1.0, 80: 1.0, 443: 1.0},
+        scan_share=0.1, packet_share=0.1,
+    )
+    return replace(
+        base,
+        packets_per_day=packets_per_day,
+        scans_per_month=scans_per_month,
+        cohorts=(botnet, noise),
+        institutional=InstitutionalActivity(packet_share=0.02, scan_share=0.01),
+        events=(),
+        background_mirai_fraction=0.9,
+        background_port_weights={port: 0.8, alt_port: 0.2},
+    )
+
+
+def scenario_institutional_sky(
+    days: int = 14,
+    packets_per_day: float = 300e6,
+    scans_per_month: float = 400e3,
+    year_label: int = 2024,
+) -> YearConfig:
+    """A world dominated by acknowledged scanners (the paper's warning:
+    telescopes increasingly 'look into the mirror')."""
+    base = year_config(year_label, days=days)
+    residual = make_cohort(
+        "residual_noise", ScannerType.UNKNOWN, Tool.UNKNOWN,
+        port_weights={80: 1.0, 22: 1.0}, scan_share=1.0, packet_share=1.0,
+    )
+    return replace(
+        base,
+        packets_per_day=packets_per_day,
+        scans_per_month=scans_per_month,
+        cohorts=(residual,),
+        institutional=InstitutionalActivity(
+            packet_share=0.8, scan_share=0.3, fingerprintable_fraction=0.5,
+        ),
+        events=(),
+        background_packet_fraction=0.05,
+    )
+
+
+def scenario_disclosure_storm(
+    events: Sequence[Tuple[str, int, int]] = (
+        ("event-a", 9200, 3), ("event-b", 6443, 8), ("event-c", 10250, 13),
+    ),
+    magnitude: float = 60.0,
+    decay_days: float = 2.5,
+    days: int = 21,
+    year_label: int = 2020,
+) -> YearConfig:
+    """Several overlapping vulnerability disclosures in one window.
+
+    ``events`` is a sequence of ``(name, port, day_offset)``; all get the
+    same surge shape. Useful for stress-testing the event-response
+    analysis when spikes overlap.
+    """
+    base = year_config(year_label, days=days)
+    if not events:
+        raise ValueError("need at least one event")
+    storm = tuple(
+        DisclosureEvent(name, port, day, magnitude=magnitude,
+                        decay_days=decay_days)
+        for name, port, day in events
+    )
+    for event in storm:
+        if not 0 <= event.day_offset < days:
+            raise ValueError(f"event {event.name} outside the period")
+    return replace(base, events=storm)
+
+
+def scenario_sharded_sweep(
+    shards_mean: float = 16.0,
+    days: int = 14,
+    year_label: int = 2024,
+) -> YearConfig:
+    """Heavy collaborative scanning: most campaigns split over many hosts.
+
+    Exercises the §6.4/§9 machinery — coverage modes, collaborating-subnet
+    detection, single-source counting bias.
+    """
+    check_positive("shards_mean", shards_mean)
+    base = year_config(year_label, days=days)
+    sweepers = make_cohort(
+        "sharded_sweepers", ScannerType.HOSTING, Tool.ZMAP,
+        port_weights={443: 1.0, 80: 0.6, 22: 0.4},
+        scan_share=0.8, packet_share=0.85,
+        median_pps=2000.0, speed_sigma=1.0,
+        sharding=ShardingSpec(prob_sharded=0.9, mean_extra_shards=shards_mean),
+    )
+    noise = make_cohort(
+        "residual_noise", ScannerType.RESIDENTIAL, Tool.UNKNOWN,
+        port_weights={80: 1.0, 8080: 0.7}, scan_share=0.2, packet_share=0.15,
+    )
+    return replace(
+        base,
+        cohorts=(sweepers, noise),
+        institutional=InstitutionalActivity(packet_share=0.05, scan_share=0.02),
+        events=(),
+    )

@@ -1,0 +1,94 @@
+"""Multi-vantage observation (§7's 'Comparing vantage points').
+
+The paper relies on a single telescope and flags that as a threat to
+generalisability. The simulator can do what the authors could not: place a
+*second* telescope and let it watch the **same** campaigns. Because every
+campaign's telescope hit count scales with the vantage's share of the
+address space, the same :class:`CampaignSpec` list can be re-materialised
+for any telescope by scaling the planned hits.
+
+The interesting question is then whether the *analysis* agrees across
+vantages — speeds, tool shares and coverage estimates are all extrapolated
+through the telescope's size, so agreement validates the §3.4 estimator
+family. The vantage-comparison benchmark does exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro._util.rng import RandomState, as_generator
+from repro.simulation.campaigns import CampaignSpec, synthesize_campaign
+from repro.telescope.packet import PacketBatch
+from repro.telescope.sensor import Telescope
+
+
+def rescale_campaign(
+    spec: CampaignSpec, from_size: int, to_size: int, rng: RandomState = None
+) -> CampaignSpec:
+    """Re-plan a campaign's telescope hits for a different vantage size.
+
+    Expected hits scale linearly with the monitored-address count; the
+    fractional part is resolved stochastically so small campaigns don't all
+    round the same way.
+    """
+    if from_size <= 0 or to_size <= 0:
+        raise ValueError("telescope sizes must be positive")
+    generator = as_generator(rng)
+    exact = spec.telescope_hits * (to_size / from_size)
+    hits = int(exact) + (1 if generator.random() < (exact - int(exact)) else 0)
+    return replace(spec, telescope_hits=hits)
+
+
+def observe_campaigns(
+    campaigns: Sequence[CampaignSpec],
+    telescope: Telescope,
+    reference_size: int,
+    year: int,
+    period_end: Optional[float] = None,
+    rng: RandomState = None,
+) -> PacketBatch:
+    """Materialise the given campaigns as seen by ``telescope``.
+
+    ``reference_size`` is the telescope size the specs were originally
+    planned for (``SimulationResult.telescope.size``). The output passes
+    through the new telescope's ingress/SYN filtering, exactly like a
+    primary capture.
+    """
+    generator = as_generator(rng)
+    batches: List[PacketBatch] = []
+    for spec in campaigns:
+        scaled = rescale_campaign(spec, reference_size, telescope.size,
+                                  generator)
+        batch = synthesize_campaign(scaled, telescope, generator,
+                                    period_end=period_end)
+        if len(batch):
+            batches.append(batch)
+    raw = PacketBatch.concat(batches)
+    return telescope.observe(raw, year)
+
+
+def second_vantage(
+    result,
+    telescope: Telescope,
+    rng: RandomState = None,
+) -> PacketBatch:
+    """The same simulated period, watched from another telescope.
+
+    ``result`` is a :class:`~repro.simulation.world.SimulationResult`; only
+    its campaigns are re-observed (background noise is vantage-local by
+    nature and is deliberately not replayed — the comparison targets the
+    campaign-level estimators).
+    """
+    period_end = result.days * 86_400.0
+    return observe_campaigns(
+        result.campaigns,
+        telescope,
+        reference_size=result.telescope.size,
+        year=result.year,
+        period_end=period_end,
+        rng=rng,
+    )

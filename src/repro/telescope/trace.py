@@ -1,0 +1,171 @@
+"""Binary trace serialisation (``.rtrace`` files).
+
+A compact column-oriented on-disk format for telescope captures, replacing
+raw pcap for this reproduction (pcap carries full frames; the analyses only
+need the header subset in :class:`~repro.telescope.packet.PacketBatch`).
+
+Layout::
+
+    magic      8 bytes  b"RTRACE01"
+    meta_len   4 bytes  little-endian uint32
+    meta       meta_len bytes, UTF-8 JSON (arbitrary user metadata)
+    chunks     repeated until EOF:
+        n_packets   4 bytes little-endian uint32   (0 terminates the stream)
+        columns     raw little-endian arrays, in fixed column order
+
+Chunking lets a writer stream a multi-day capture without holding it in
+memory, and lets a reader iterate chunk-by-chunk.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.telescope.packet import PacketBatch
+
+MAGIC = b"RTRACE01"
+
+_COLUMN_ORDER: Tuple[Tuple[str, str], ...] = (
+    ("time", "<f8"),
+    ("src_ip", "<u4"),
+    ("dst_ip", "<u4"),
+    ("src_port", "<u2"),
+    ("dst_port", "<u2"),
+    ("ip_id", "<u2"),
+    ("seq", "<u4"),
+    ("ttl", "<u1"),
+    ("window", "<u2"),
+    ("flags", "<u1"),
+)
+
+PathLike = Union[str, Path]
+
+
+class TraceFormatError(ValueError):
+    """Raised when a trace file is malformed or truncated."""
+
+
+class TraceWriter:
+    """Streaming trace writer; use as a context manager.
+
+    Example::
+
+        with TraceWriter(path, meta={"year": 2020}) as w:
+            for batch in batches:
+                w.write(batch)
+    """
+
+    def __init__(self, path: PathLike, meta: Optional[Dict[str, Any]] = None):
+        self._path = Path(path)
+        self._file: Optional[io.BufferedWriter] = None
+        self._meta = dict(meta or {})
+        self._packets_written = 0
+
+    def __enter__(self) -> "TraceWriter":
+        self._file = open(self._path, "wb")
+        self._file.write(MAGIC)
+        meta_bytes = json.dumps(self._meta, sort_keys=True).encode("utf-8")
+        self._file.write(struct.pack("<I", len(meta_bytes)))
+        self._file.write(meta_bytes)
+        return self
+
+    def write(self, batch: PacketBatch) -> None:
+        """Append one chunk. Empty batches are skipped (0 marks EOF)."""
+        if self._file is None:
+            raise RuntimeError("TraceWriter must be used as a context manager")
+        if len(batch) == 0:
+            return
+        self._file.write(struct.pack("<I", len(batch)))
+        cols = batch.columns()
+        for name, dtype in _COLUMN_ORDER:
+            self._file.write(np.ascontiguousarray(cols[name], dtype=dtype).tobytes())
+        self._packets_written += len(batch)
+
+    @property
+    def packets_written(self) -> int:
+        return self._packets_written
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._file is not None:
+            # Explicit terminator so a truncated tail is detectable.
+            self._file.write(struct.pack("<I", 0))
+            self._file.close()
+            self._file = None
+
+
+class TraceReader:
+    """Streaming trace reader; iterates chunks as :class:`PacketBatch`."""
+
+    def __init__(self, path: PathLike):
+        self._path = Path(path)
+        self.meta: Dict[str, Any] = {}
+
+    def __enter__(self) -> "TraceReader":
+        self._file = open(self._path, "rb")
+        magic = self._file.read(len(MAGIC))
+        if magic != MAGIC:
+            self._file.close()
+            raise TraceFormatError(f"bad magic in {self._path}: {magic!r}")
+        (meta_len,) = struct.unpack("<I", self._read_exact(4))
+        self.meta = json.loads(self._read_exact(meta_len).decode("utf-8"))
+        return self
+
+    def _read_exact(self, count: int) -> bytes:
+        data = self._file.read(count)
+        if len(data) != count:
+            raise TraceFormatError(f"truncated trace file: {self._path}")
+        return data
+
+    def __iter__(self) -> Iterator[PacketBatch]:
+        while True:
+            header = self._file.read(4)
+            if len(header) == 0:
+                # Missing terminator: tolerate but treat as end of stream.
+                return
+            if len(header) != 4:
+                raise TraceFormatError(f"truncated chunk header: {self._path}")
+            (count,) = struct.unpack("<I", header)
+            if count == 0:
+                return
+            cols: Dict[str, np.ndarray] = {}
+            for name, dtype in _COLUMN_ORDER:
+                nbytes = count * np.dtype(dtype).itemsize
+                cols[name] = np.frombuffer(self._read_exact(nbytes), dtype=dtype).copy()
+            yield PacketBatch(**cols)
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._file.close()
+
+
+def write_trace(
+    path: PathLike,
+    batch: PacketBatch,
+    meta: Optional[Dict[str, Any]] = None,
+    chunk_size: int = 1_000_000,
+) -> int:
+    """Write a whole batch to ``path`` in chunks; returns packets written."""
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    with TraceWriter(path, meta=meta) as writer:
+        for start in range(0, len(batch), chunk_size):
+            writer.write(batch[start:start + chunk_size])
+        return writer.packets_written
+
+
+def read_trace(path: PathLike) -> Tuple[PacketBatch, Dict[str, Any]]:
+    """Read a whole trace into memory; returns ``(batch, meta)``."""
+    with TraceReader(path) as reader:
+        chunks = list(reader)
+        return PacketBatch.concat(chunks), reader.meta
+
+
+def iter_trace(path: PathLike) -> Iterator[PacketBatch]:
+    """Iterate a trace chunk-by-chunk without loading it all."""
+    with TraceReader(path) as reader:
+        yield from reader

@@ -1,0 +1,69 @@
+"""Shared fixtures.
+
+Expensive artefacts (registry, simulated year, analysed period) are
+session-scoped: they are deterministic, read-only in tests, and rebuilding
+them per test would dominate the suite's runtime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import analyze_simulation
+from repro.enrichment import (
+    KnownScannerFeed,
+    ScannerClassifier,
+    build_default_registry,
+)
+from repro.simulation import TelescopeWorld
+from repro.telescope import Telescope
+
+
+@pytest.fixture(scope="session")
+def registry():
+    return build_default_registry()
+
+
+@pytest.fixture(scope="session")
+def feed(registry):
+    return KnownScannerFeed(registry)
+
+
+@pytest.fixture(scope="session")
+def classifier(registry, feed):
+    return ScannerClassifier(registry, feed)
+
+
+@pytest.fixture(scope="session")
+def telescope():
+    return Telescope.paper_telescope(rng=11)
+
+
+@pytest.fixture()
+def world(telescope, registry):
+    """A fresh world per test: the generator's RNG is stateful, so sharing
+    one across tests would make results order-dependent."""
+    return TelescopeWorld(telescope=telescope, registry=registry, rng=11)
+
+
+@pytest.fixture(scope="session")
+def sim2020(telescope, registry):
+    """A small but fully featured simulated 2020 period.
+
+    Built with a dedicated world so the realisation is identical no matter
+    which tests ran before.
+    """
+    dedicated = TelescopeWorld(telescope=telescope, registry=registry, rng=11)
+    return dedicated.simulate_year(2020, days=10, max_packets=120_000,
+                                   min_scans=300)
+
+
+@pytest.fixture(scope="session")
+def analysis2020(sim2020):
+    return analyze_simulation(sim2020)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(123)

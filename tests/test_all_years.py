@@ -1,0 +1,111 @@
+"""Calibration regression: every study year simulates and analyses with its
+era-specific invariants intact.
+
+These are cheap, small-budget sims — the point is catching calibration
+regressions (a config edit breaking one year) rather than precise shares;
+the benchmarks hold the tight comparisons.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import analyze_simulation, summarize_period
+from repro.scanners import Tool
+from repro.simulation import ALL_YEARS
+
+
+@pytest.fixture(scope="module")
+def mini_decade(telescope, registry):
+    from repro.simulation import TelescopeWorld
+    dedicated = TelescopeWorld(telescope=telescope, registry=registry, rng=5)
+    out = {}
+    for year in ALL_YEARS:
+        sim = dedicated.simulate_year(year, days=7, max_packets=60_000,
+                                      min_scans=250)
+        out[year] = (sim, analyze_simulation(sim))
+    return out
+
+
+@pytest.mark.parametrize("year", ALL_YEARS)
+class TestEveryYear:
+    def test_volume_projection_sane(self, mini_decade, year):
+        sim, _ = mini_decade[year]
+        projected = sim.packets_per_day_unscaled()
+        assert 0.4 * sim.config.packets_per_day < projected < 2.0 * sim.config.packets_per_day
+
+    def test_scans_identified(self, mini_decade, year):
+        _, analysis = mini_decade[year]
+        assert len(analysis.study_scans) > 100
+
+    def test_blocked_ports_absent_post_2017(self, mini_decade, year):
+        _, analysis = mini_decade[year]
+        ports = set(np.unique(analysis.batch.dst_port).tolist())
+        if year >= 2017:
+            assert 23 not in ports and 445 not in ports
+
+    def test_syn_share_about_98pct(self, mini_decade, year):
+        sim, _ = mini_decade[year]
+        assert 0.95 < sim.syn_scan_share() < 0.995
+
+    def test_institutional_scans_present(self, mini_decade, year):
+        _, analysis = mini_decade[year]
+        orgs = {str(o) for o in analysis.study_scans.organisation if o}
+        assert len(orgs) >= 3
+
+    def test_top_source_port_plausible(self, mini_decade, year):
+        """The by-sources leader must come from the year's calibrated list."""
+        from repro.simulation.config import _PORT_SOURCE_WEIGHTS
+        from repro.core.ecosystem import top_ports_by_sources
+        _, analysis = mini_decade[year]
+        tops = [p.port for p in top_ports_by_sources(analysis, k=3)]
+        calibrated = set(_PORT_SOURCE_WEIGHTS[year])
+        assert set(tops) & calibrated, (year, tops)
+
+
+class TestEraInvariants:
+    def test_mirai_era(self, mini_decade):
+        """No Mirai before 2017; dominant in 2017; minor by 2022."""
+        def mirai_share(year):
+            _, analysis = mini_decade[year]
+            return summarize_period(analysis).tool_shares_by_scans.get(
+                Tool.MIRAI, 0.0)
+        assert mirai_share(2015) < 0.02
+        assert mirai_share(2016) < 0.05
+        assert mirai_share(2017) > 0.25
+        assert mirai_share(2022) < 0.08
+
+    def test_nmap_era(self, mini_decade):
+        """NMap dominant among tracked tools in 2015, negligible by 2023."""
+        def nmap_share(year):
+            _, analysis = mini_decade[year]
+            return summarize_period(analysis).tool_shares_by_scans.get(
+                Tool.NMAP, 0.0)
+        assert nmap_share(2015) > 0.2
+        assert nmap_share(2023) < 0.02
+
+    def test_masscan_era(self, mini_decade):
+        """Masscan's rise (2018-2021) and disappearance (2023+)."""
+        def share(year):
+            _, analysis = mini_decade[year]
+            return summarize_period(analysis).tool_shares_by_scans.get(
+                Tool.MASSCAN, 0.0)
+        assert share(2015) < 0.05
+        assert share(2019) > 0.10
+        assert share(2024) < 0.03
+
+    def test_zmap_sharded_era(self, mini_decade):
+        """ZMap scan share explodes in 2024 (sharded collaborations)."""
+        def share(year):
+            _, analysis = mini_decade[year]
+            return summarize_period(analysis).tool_shares_by_scans.get(
+                Tool.ZMAP, 0.0)
+        assert share(2024) > 2.5 * share(2018)
+        assert share(2024) > 0.3
+
+    def test_sharding_era_sources(self, mini_decade):
+        """Multi-source campaigns are a late-decade phenomenon."""
+        def sharded_fraction(year):
+            sim, _ = mini_decade[year]
+            shards = [c.shards for c in sim.campaigns]
+            return np.mean([s > 1 for s in shards])
+        assert sharded_fraction(2024) > 3 * max(sharded_fraction(2015), 0.01)

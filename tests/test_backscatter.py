@@ -1,0 +1,87 @@
+"""Tests for backscatter generation and the §3.1/§3.2 separation claims."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.backscatter import (
+    ATTACKED_SERVICE_WEIGHTS,
+    AttackSpec,
+    sample_attacks,
+    synthesize_backscatter,
+)
+from repro.telescope.packet import FLAG_ACK, FLAG_RST, FLAG_SYN
+
+
+class TestSampleAttacks:
+    def test_budget_roughly_met(self, registry, rng):
+        attacks = sample_attacks(registry, 50_000, 86_400.0, rng=rng)
+        total = sum(a.telescope_hits for a in attacks)
+        assert 0.8 * 50_000 < total < 1.3 * 50_000
+
+    def test_heavy_tail(self, registry, rng):
+        attacks = sample_attacks(registry, 100_000, 86_400.0, rng=rng)
+        sizes = sorted(a.telescope_hits for a in attacks)
+        # The top decile carries far more than its proportional share.
+        top = sum(sizes[-len(sizes) // 10:])
+        assert top > 0.35 * sum(sizes)
+
+    def test_zero_budget(self, registry, rng):
+        assert sample_attacks(registry, 0, 86_400.0, rng=rng) == []
+
+    def test_service_ports_from_catalogue(self, registry, rng):
+        attacks = sample_attacks(registry, 20_000, 86_400.0, rng=rng)
+        allowed = {p for p, _ in ATTACKED_SERVICE_WEIGHTS}
+        assert {a.service_port for a in attacks} <= allowed
+
+    def test_durations_within_period(self, registry, rng):
+        period = 86_400.0
+        for a in sample_attacks(registry, 20_000, period, rng=rng):
+            assert 0 <= a.start < period
+
+
+class TestSynthesize:
+    def test_flags_are_backscatter(self, registry, telescope, rng):
+        attacks = sample_attacks(registry, 5_000, 86_400.0, rng=rng)
+        batch = synthesize_backscatter(attacks, telescope, rng=rng)
+        assert len(batch) > 0
+        syn_only = batch.flags == FLAG_SYN
+        assert not syn_only.any()
+        valid = {FLAG_SYN | FLAG_ACK, FLAG_RST | FLAG_ACK}
+        assert set(np.unique(batch.flags).tolist()) <= valid
+
+    def test_source_is_victim_service(self, registry, telescope, rng):
+        attacks = [AttackSpec(victim_ip=123456, service_port=443,
+                              start=0.0, duration=100.0, telescope_hits=50)]
+        batch = synthesize_backscatter(attacks, telescope, rng=rng)
+        assert np.all(batch.src_ip == 123456)
+        assert np.all(batch.src_port == 443)
+
+    def test_destinations_monitored(self, registry, telescope, rng):
+        attacks = sample_attacks(registry, 3_000, 86_400.0, rng=rng)
+        batch = synthesize_backscatter(attacks, telescope, rng=rng)
+        assert np.all(telescope.monitored.contains_array(batch.dst_ip))
+
+    def test_empty_attacks(self, telescope, rng):
+        assert len(synthesize_backscatter([], telescope, rng=rng)) == 0
+
+    def test_period_censoring(self, registry, telescope, rng):
+        attacks = [AttackSpec(victim_ip=9, service_port=80, start=0.0,
+                              duration=1000.0, telescope_hits=500)]
+        batch = synthesize_backscatter(attacks, telescope, rng=rng,
+                                       period_end=500.0)
+        assert batch.time.max() < 500.0
+        assert len(batch) < 500
+
+
+class TestSeparationEndToEnd:
+    def test_98_percent_syn_scans(self, sim2020):
+        """§3.1: ~98% of unsolicited TCP traffic consists of SYN scans."""
+        share = sim2020.syn_scan_share()
+        assert 0.96 < share < 0.995
+
+    def test_backscatter_not_in_scan_view(self, sim2020):
+        assert np.all(sim2020.batch.flags == FLAG_SYN)
+        assert sim2020.backscatter_packets > 0
+
+    def test_sensor_accounting_matches(self, sim2020):
+        assert sim2020.telescope.stats.backscatter >= sim2020.backscatter_packets

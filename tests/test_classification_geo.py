@@ -1,0 +1,182 @@
+"""Tests for scanner-type classification analyses (Table 2, Figs 5/7) and
+geography (§5.4), run on the shared 2020 simulation."""
+
+import numpy as np
+import pytest
+
+from repro.core.classification import (
+    capability_by_type,
+    institutional_speed_ratio,
+    port_type_distribution,
+    type_shares,
+)
+from repro.core.geography import (
+    biased_port_counts_by_country,
+    country_shares,
+    port_country_share,
+    port_origin_biases,
+    space_normalised_shares,
+    tool_country_shares,
+)
+from repro.core.institutions import known_scanner_share, org_footprints
+from repro.enrichment.types import SCANNER_TYPE_ORDER, ScannerType
+from repro.scanners import Tool
+
+
+class TestTypeShares:
+    def test_rows_cover_all_types(self, analysis2020):
+        rows = type_shares(analysis2020)
+        assert [r.scanner_type for r in rows] == list(SCANNER_TYPE_ORDER)
+
+    def test_shares_normalised(self, analysis2020):
+        rows = type_shares(analysis2020)
+        assert sum(r.sources for r in rows) == pytest.approx(1.0, abs=1e-6)
+        assert sum(r.scans for r in rows) == pytest.approx(1.0, abs=1e-6)
+        assert sum(r.packets for r in rows) == pytest.approx(1.0, abs=1e-6)
+
+    def test_residential_dominates_sources(self, analysis2020):
+        """Table 2: residential space holds the majority of source IPs."""
+        rows = {r.scanner_type: r for r in type_shares(analysis2020)}
+        assert rows[ScannerType.RESIDENTIAL].sources > 0.4
+
+    def test_institutional_tiny_sources_large_packets(self, analysis2020):
+        """Table 2: 0.16% of sources but ~33% of packets."""
+        rows = {r.scanner_type: r for r in type_shares(analysis2020)}
+        inst = rows[ScannerType.INSTITUTIONAL]
+        assert inst.sources < 0.02
+        assert inst.packets > 5 * inst.sources
+
+    def test_hosting_packets_exceed_sources(self, analysis2020):
+        """Table 2: hosting is packet-heavy relative to its source count."""
+        rows = {r.scanner_type: r for r in type_shares(analysis2020)}
+        hosting = rows[ScannerType.HOSTING]
+        assert hosting.packets > hosting.sources
+
+
+class TestPortTypeDistribution:
+    def test_top_ports_have_distributions(self, analysis2020):
+        dist = port_type_distribution(analysis2020, top_n=10)
+        assert len(dist) == 10
+        for port, mix in dist.items():
+            assert sum(mix.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_https_institutional_heavy(self, analysis2020):
+        """Figure 5: 443 is disproportionately institutional."""
+        dist = port_type_distribution(analysis2020, top_n=15)
+        if 443 in dist:
+            inst_443 = dist[443][ScannerType.INSTITUTIONAL]
+            other = [mix[ScannerType.INSTITUTIONAL]
+                     for port, mix in dist.items() if port not in (443, 3390)]
+            assert inst_443 > np.mean(other)
+
+
+class TestCapabilities:
+    def test_all_present_types_covered(self, analysis2020):
+        caps = capability_by_type(analysis2020)
+        assert ScannerType.INSTITUTIONAL in caps
+        assert ScannerType.RESIDENTIAL in caps
+
+    def test_institutional_fastest(self, analysis2020):
+        """Figure 7 / §6.8: institutional scanners are far faster."""
+        caps = capability_by_type(analysis2020)
+        inst = caps[ScannerType.INSTITUTIONAL].speed.mean_pps
+        res = caps[ScannerType.RESIDENTIAL].speed.mean_pps
+        assert inst > 10 * res
+
+    def test_institutional_1000pps_fraction(self, analysis2020):
+        """§6.8: 84% of institutional scans exceed 1,000 pps; only 12% of
+        residential ones do."""
+        caps = capability_by_type(analysis2020)
+        assert caps[ScannerType.INSTITUTIONAL].speed.fraction_over_1000pps > 0.6
+        assert caps[ScannerType.RESIDENTIAL].speed.fraction_over_1000pps < 0.35
+
+    def test_institutional_coverage_highest(self, analysis2020):
+        caps = capability_by_type(analysis2020)
+        inst_cov = caps[ScannerType.INSTITUTIONAL].coverage.mean
+        res_cov = caps[ScannerType.RESIDENTIAL].coverage.mean
+        assert inst_cov > res_cov
+
+    def test_speed_ratio_large(self, analysis2020):
+        """§6.8: institutions scan ~92× faster than the average scanner."""
+        ratio = institutional_speed_ratio(analysis2020)
+        assert ratio > 8
+
+
+class TestGeography:
+    def test_country_shares_normalised(self, analysis2020):
+        for weight in ("scans", "packets", "sources"):
+            shares = country_shares(analysis2020, weight=weight)
+            assert sum(shares.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_invalid_weight(self, analysis2020):
+        with pytest.raises(ValueError):
+            country_shares(analysis2020, weight="bogus")
+
+    def test_china_prominent_2020(self, analysis2020):
+        shares = country_shares(analysis2020, weight="scans")
+        assert shares.get("CN", 0) > 0.05
+
+    def test_rdp_mysql_china_bias(self, world):
+        """§5.4: RDP (3389) / MySQL (3306) scanning predominantly from China.
+
+        Tested at the generator level with a statistically meaningful draw:
+        the per-port origin override must dominate the cohort's own country
+        mix.
+        """
+        import collections
+        from repro.simulation import year_config
+        cfg = year_config(2020)
+        rng = np.random.default_rng(7)
+        for port in (3389, 3306):
+            draws = collections.Counter(
+                world._campaign_country(cfg, cfg.cohorts[0], port, rng)
+                for _ in range(300)
+            )
+            assert draws.most_common(1)[0][0] == "CN"
+            assert draws["CN"] / 300 > 0.45
+
+    def test_port_origin_biases_structure(self, analysis2020):
+        biases = port_origin_biases(analysis2020, min_share=0.8, min_packets=30)
+        for bias in biases:
+            assert bias.share >= 0.8
+            assert 0 < bias.port < 65536
+        counts = biased_port_counts_by_country(biases)
+        assert sum(counts.values()) == len(biases)
+
+    def test_min_share_validation(self, analysis2020):
+        with pytest.raises(ValueError):
+            port_origin_biases(analysis2020, min_share=0.4)
+
+    def test_tool_country_shares(self, analysis2020):
+        zmap_geo = tool_country_shares(analysis2020, Tool.ZMAP)
+        if zmap_geo:
+            assert sum(zmap_geo.values()) == pytest.approx(1.0, abs=1e-6)
+            # §6.5: ZMap almost exclusively from China and the US.
+            assert zmap_geo.get("CN", 0) + zmap_geo.get("US", 0) > 0.4
+
+    def test_space_normalised_shares(self, analysis2020):
+        normalised = space_normalised_shares(analysis2020)
+        assert normalised
+        assert all(v >= 0 for v in normalised.values())
+
+
+class TestInstitutions:
+    def test_org_footprints_known_only(self, analysis2020):
+        footprints = org_footprints(analysis2020)
+        assert footprints
+        feed_orgs = set(analysis2020.classifier.feed.organisations())
+        assert set(footprints) <= feed_orgs
+
+    def test_footprint_fields_consistent(self, analysis2020):
+        for fp in org_footprints(analysis2020).values():
+            assert fp.distinct_ports == fp.ports.size
+            assert fp.port_coverage == pytest.approx(fp.distinct_ports / 65536)
+            assert fp.sources >= 1
+            assert fp.packets >= fp.distinct_ports  # at least one pkt per port
+
+    def test_known_scanner_share(self, analysis2020):
+        share = known_scanner_share(analysis2020)
+        assert share.organisations >= 10
+        assert share.source_share < 0.05          # ~0.4% in the paper
+        assert share.packet_share > 0.05          # packets far outweigh sources
+        assert share.packet_share > share.source_share

@@ -1,0 +1,146 @@
+"""Unit tests for the scanner classifier and the Appendix-A ETL pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.enrichment import (
+    AllocationType,
+    Attribution,
+    DataSource,
+    EtlPipeline,
+    ScannerClassifier,
+    ScannerType,
+    SourceRecord,
+    Warehouse,
+    synthesise_sources,
+)
+from repro.enrichment.etl import _keywordise
+
+
+class TestClassifier:
+    @pytest.mark.parametrize("alloc,expected", [
+        (AllocationType.HOSTING, ScannerType.HOSTING),
+        (AllocationType.ENTERPRISE, ScannerType.ENTERPRISE),
+        (AllocationType.RESIDENTIAL, ScannerType.RESIDENTIAL),
+        (AllocationType.UNKNOWN, ScannerType.UNKNOWN),
+    ])
+    def test_alloc_type_mapping(self, classifier, registry, rng, alloc, expected):
+        ips = registry.sample_addresses(rng, 30, alloc_type=alloc)
+        got = classifier.classify_array(ips)
+        assert all(g == expected for g in got)
+
+    def test_feed_overrides_to_institutional(self, classifier, registry, rng):
+        ips = registry.sample_addresses(rng, 10, organisation="Censys")
+        got = classifier.classify_array(ips)
+        assert all(g == ScannerType.INSTITUTIONAL for g in got)
+
+    def test_unallocated_is_unknown(self, classifier):
+        got = classifier.classify_array(np.array([1], dtype=np.uint32))
+        assert got[0] == ScannerType.UNKNOWN
+
+    def test_classify_single_full_record(self, classifier, registry, rng):
+        ip = int(registry.sample_addresses(rng, 1, organisation="Shodan")[0])
+        verdict = classifier.classify(ip)
+        assert verdict.scanner_type == ScannerType.INSTITUTIONAL
+        assert verdict.organisation == "Shodan"
+        assert verdict.country == "US"
+        assert verdict.asn >= 60000
+
+
+class TestKeywordise:
+    def test_multiword_actor(self):
+        kws = _keywordise("Palo Alto Networks")
+        assert "palo alto networks" in kws
+        assert "paloaltonetworks" in kws
+
+    def test_short_keywords_dropped(self):
+        assert all(len(k) >= 4 for k in _keywordise("Ab"))
+
+    def test_empty(self):
+        assert _keywordise("") == []
+
+
+class TestWarehouse:
+    def test_phase1_wins_over_phase2(self):
+        wh = Warehouse()
+        wh.load(Attribution(5, "OrgB", "src", phase=2))
+        wh.load(Attribution(5, "OrgA", "src", phase=1))
+        assert wh.actor_of(5) == "OrgA"
+        # Later phase-2 evidence must not displace phase-1.
+        wh.load(Attribution(5, "OrgC", "src", phase=2))
+        assert wh.actor_of(5) == "OrgA"
+
+    def test_actors_sorted(self):
+        wh = Warehouse()
+        wh.load(Attribution(1, "Zeta", "s", 1))
+        wh.load(Attribution(2, "Alpha", "s", 1))
+        assert wh.actors() == ("Alpha", "Zeta")
+
+
+class TestEtlPipeline:
+    def test_requires_sources(self):
+        with pytest.raises(ValueError):
+            EtlPipeline([])
+
+    def test_phase1_direct_match(self):
+        src = DataSource("greynoise", [SourceRecord(ip=42, actor="Censys")])
+        wh = EtlPipeline([src]).run([42])
+        assert wh.actor_of(42) == "Censys"
+        assert wh.attributions()[0].phase == 1
+
+    def test_phase2_keyword_match(self):
+        sources = [
+            DataSource("greynoise", [SourceRecord(ip=0, actor="Censys")]),
+            DataSource("censys-api", [SourceRecord(ip=42, fields={
+                "reverse_dns": "scan-3.censys.example"})]),
+        ]
+        wh = EtlPipeline(sources).run([42])
+        att = wh.attributions()[0]
+        assert att.actor == "Censys"
+        assert att.phase == 2
+        assert att.matched_field == "reverse_dns"
+
+    def test_field_priority_order(self):
+        """WHOIS handle outranks reverse DNS when both match."""
+        sources = [
+            DataSource("seed", [SourceRecord(ip=0, actor="Rapid7"),
+                                SourceRecord(ip=0, actor="Censys")]),
+            DataSource("censys-api", [SourceRecord(ip=9, fields={
+                "whois_handle": "RAPID7-NET",
+                "reverse_dns": "x.censys.example",
+            })]),
+        ]
+        wh = EtlPipeline(sources).run([9])
+        assert wh.actor_of(9) == "Rapid7"
+
+    def test_unobserved_ips_not_attributed(self):
+        src = DataSource("greynoise", [SourceRecord(ip=42, actor="Censys")])
+        wh = EtlPipeline([src]).run([7])
+        assert len(wh) == 0
+
+    def test_manual_keywords(self):
+        sources = [DataSource("rdns", [SourceRecord(ip=5, fields={
+            "reverse_dns": "probe.specialscanner.example"})])]
+        wh = EtlPipeline(sources,
+                         manual_keywords={"specialscanner": "Special Org"}).run([5])
+        assert wh.actor_of(5) == "Special Org"
+
+    def test_synthetic_sources_high_recall_no_fp(self, registry, feed, rng):
+        known = list(registry.sample_addresses(rng, 150,
+                                               alloc_type=AllocationType.INSTITUTIONAL))
+        other = list(registry.sample_addresses(rng, 80,
+                                               alloc_type=AllocationType.RESIDENTIAL))
+        sources = synthesise_sources(registry, feed, known + other, rng=3,
+                                     direct_fraction=0.5)
+        wh = EtlPipeline(sources).run(known + other)
+        matched = sum(1 for ip in known if wh.actor_of(ip))
+        false_pos = sum(1 for ip in other if wh.actor_of(ip))
+        assert matched / len(known) > 0.95
+        assert false_pos == 0
+
+    def test_synthetic_sources_attribution_correct(self, registry, feed, rng):
+        ips = list(registry.sample_addresses(rng, 60, organisation="LeakIX"))
+        sources = synthesise_sources(registry, feed, ips, rng=1, direct_fraction=0.3)
+        wh = EtlPipeline(sources).run(ips)
+        actors = {wh.actor_of(ip) for ip in ips if wh.actor_of(ip)}
+        assert actors == {"LeakIX"}

@@ -1,0 +1,122 @@
+"""Tests for the repro-scan command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.telescope import read_trace
+
+
+@pytest.fixture(scope="module")
+def capture(tmp_path_factory):
+    """A small simulated capture written once for the CLI tests."""
+    out = tmp_path_factory.mktemp("cli") / "capture.rtrace"
+    code = main([
+        "simulate", "--year", "2018", "--days", "5",
+        "--max-packets", "40000", "--min-scans", "120",
+        "--seed", "9", "--out", str(out),
+    ])
+    assert code == 0
+    return out
+
+
+class TestSimulate:
+    def test_writes_trace_with_metadata(self, capture):
+        batch, meta = read_trace(capture)
+        assert len(batch) > 10_000
+        assert meta["year"] == 2018
+        assert meta["days"] == 5
+        assert 0 < meta["packet_scale"] <= 5e-3
+
+    def test_pcap_copy(self, tmp_path, capsys):
+        out = tmp_path / "c.rtrace"
+        pcap = tmp_path / "c.pcap"
+        code = main([
+            "simulate", "--year", "2016", "--days", "3",
+            "--max-packets", "15000", "--min-scans", "60",
+            "--out", str(out), "--pcap", str(pcap),
+        ])
+        assert code == 0
+        assert pcap.exists()
+        text = capsys.readouterr().out
+        assert "SYN share" in text
+
+    def test_deterministic_across_runs(self, tmp_path):
+        a, b = tmp_path / "a.rtrace", tmp_path / "b.rtrace"
+        for path in (a, b):
+            main(["simulate", "--year", "2016", "--days", "3",
+                  "--max-packets", "15000", "--min-scans", "60",
+                  "--seed", "4", "--out", str(path)])
+        batch_a, _ = read_trace(a)
+        batch_b, _ = read_trace(b)
+        assert len(batch_a) == len(batch_b)
+        assert (batch_a.seq == batch_b.seq).all()
+
+
+class TestAnalyze:
+    def test_report_sections(self, capture, capsys):
+        assert main(["analyze", str(capture)]) == 0
+        text = capsys.readouterr().out
+        assert "Packets/day" in text
+        assert "Institutional" in text
+        assert "known scanners:" in text
+        assert "counting inflation" in text
+
+    def test_year_override(self, capture, capsys):
+        assert main(["analyze", str(capture), "--year", "2018"]) == 0
+
+    def test_missing_metadata_errors(self, tmp_path, capsys):
+        from repro.telescope import write_trace
+        from repro.telescope.packet import PacketBatch
+        bare = tmp_path / "bare.rtrace"
+        write_trace(bare, PacketBatch.empty())
+        assert main(["analyze", str(bare)]) == 2
+        assert "year/days metadata" in capsys.readouterr().err
+
+
+class TestReport:
+    def test_multi_year_table(self, capsys):
+        code = main(["report", "--years", "2015,2017", "--days", "3",
+                     "--max-packets", "15000"])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "2015" in text and "2017" in text
+        assert "masscan (by scans)" in text
+
+    def test_bad_years_rejected(self, capsys):
+        assert main(["report", "--years", "2013"]) == 2
+        assert main(["report", "--years", "twenty"]) == 2
+
+
+class TestFingerprint:
+    def test_tool_shares_printed(self, capture, capsys):
+        assert main(["fingerprint", str(capture)]) == 0
+        text = capsys.readouterr().out
+        assert "packets" in text
+        assert "masscan" in text or "unknown" in text
+
+    def test_empty_capture(self, tmp_path, capsys):
+        from repro.telescope import write_trace
+        from repro.telescope.packet import PacketBatch
+        empty = tmp_path / "empty.rtrace"
+        write_trace(empty, PacketBatch.empty())
+        assert main(["fingerprint", str(empty)]) == 1
+
+
+class TestAnonymize:
+    def test_roundtrip_preserves_structure(self, capture, tmp_path, capsys):
+        out = tmp_path / "anon.rtrace"
+        code = main(["anonymize", str(capture), "--out", str(out),
+                     "--key", "987654321"])
+        assert code == 0
+        import numpy as np
+        original, _ = read_trace(capture)
+        anonymised, meta = read_trace(out)
+        assert meta["anonymized"] is True
+        assert len(anonymised) == len(original)
+        assert not np.array_equal(anonymised.src_ip, original.src_ip)
+        assert np.array_equal(anonymised.dst_ip, original.dst_ip)
+
+    def test_bad_key(self, capture, tmp_path, capsys):
+        out = tmp_path / "anon.rtrace"
+        assert main(["anonymize", str(capture), "--out", str(out),
+                     "--key", "-5"]) == 2

@@ -1,0 +1,180 @@
+"""Tests for collaborative-scan reconstruction and blocklist analyses."""
+
+import numpy as np
+import pytest
+
+from repro.core.blocklist import (
+    blocklist_effectiveness,
+    institutional_filter_effectiveness,
+)
+from repro.core.campaigns import ScanTable
+from repro.core.collaboration import (
+    evaluate_merging,
+    merge_collaborative_scans,
+    single_source_bias,
+)
+from repro.scanners import Tool
+
+
+def scan_table(rows):
+    """rows: (src_ip, start, end, tool, ports)."""
+    n = len(rows)
+    return ScanTable(
+        src_ip=np.array([r[0] for r in rows], dtype=np.uint32),
+        start=np.array([r[1] for r in rows], dtype=float),
+        end=np.array([r[2] for r in rows], dtype=float),
+        packets=np.full(n, 200, dtype=np.int64),
+        distinct_dsts=np.full(n, 150, dtype=np.int64),
+        port_sets=[np.array(sorted(r[4]), dtype=np.int64) for r in rows],
+        primary_port=np.array([sorted(r[4])[0] for r in rows], dtype=np.uint16),
+        tool=np.array([r[3] for r in rows], dtype=object),
+        match_fraction=np.ones(n),
+        speed_pps=np.full(n, 500.0),
+        coverage=np.full(n, 0.004),
+    )
+
+
+BASE = 0x0A000000  # 10.0.0.0
+
+
+class TestMerging:
+    def test_shards_merge(self):
+        rows = [(BASE + i, 100.0, 5000.0, Tool.ZMAP, [443]) for i in range(8)]
+        merged = merge_collaborative_scans(scan_table(rows))
+        assert len(merged) == 1
+        assert merged[0].is_collaborative
+        assert len(merged[0].sources) == 8
+        assert merged[0].total_coverage == pytest.approx(0.032)
+
+    def test_different_subnets_stay_separate(self):
+        rows = [(BASE, 100.0, 5000.0, Tool.ZMAP, [443]),
+                (BASE + 65536, 100.0, 5000.0, Tool.ZMAP, [443])]
+        merged = merge_collaborative_scans(scan_table(rows))
+        assert len(merged) == 2
+
+    def test_different_tools_stay_separate(self):
+        rows = [(BASE, 100.0, 5000.0, Tool.ZMAP, [443]),
+                (BASE + 1, 100.0, 5000.0, Tool.MASSCAN, [443])]
+        assert len(merge_collaborative_scans(scan_table(rows))) == 2
+        assert len(merge_collaborative_scans(scan_table(rows),
+                                             same_tool=False)) == 1
+
+    def test_different_ports_stay_separate(self):
+        rows = [(BASE, 100.0, 5000.0, Tool.ZMAP, [443]),
+                (BASE + 1, 100.0, 5000.0, Tool.ZMAP, [80])]
+        assert len(merge_collaborative_scans(scan_table(rows))) == 2
+
+    def test_time_gap_splits(self):
+        rows = [(BASE, 0.0, 1000.0, Tool.ZMAP, [443]),
+                (BASE + 1, 10 * 86400.0, 10 * 86400.0 + 1000.0, Tool.ZMAP, [443])]
+        assert len(merge_collaborative_scans(scan_table(rows))) == 2
+
+    def test_transitive_merge(self):
+        # A overlaps B, B overlaps C, A does not overlap C — still one
+        # campaign via the sweep.
+        rows = [(BASE, 0.0, 1000.0, Tool.ZMAP, [443]),
+                (BASE + 1, 900.0, 2000.0, Tool.ZMAP, [443]),
+                (BASE + 2, 1900.0, 3000.0, Tool.ZMAP, [443])]
+        merged = merge_collaborative_scans(scan_table(rows), max_gap_s=0.0)
+        assert len(merged) == 1
+
+    def test_empty(self):
+        assert merge_collaborative_scans(ScanTable.empty()) == []
+
+    def test_gap_validation(self):
+        with pytest.raises(ValueError):
+            merge_collaborative_scans(ScanTable.empty(), max_gap_s=-1)
+
+    def test_large_port_set_signature(self):
+        big = list(range(1, 20_000))
+        rows = [(BASE, 0.0, 1000.0, Tool.ZMAP, big),
+                (BASE + 1, 0.0, 1000.0, Tool.ZMAP, big)]
+        merged = merge_collaborative_scans(scan_table(rows))
+        assert len(merged) == 1
+
+
+class TestBias:
+    def test_bias_report(self):
+        rows = [(BASE + i, 100.0, 5000.0, Tool.ZMAP, [443]) for i in range(4)]
+        rows.append((BASE + 65536, 100.0, 5000.0, Tool.MASSCAN, [80]))
+        report = single_source_bias(scan_table(rows))
+        assert report.observed_scans == 5
+        assert report.logical_campaigns == 2
+        assert report.collaborative_campaigns == 1
+        assert report.inflation_factor == pytest.approx(2.5)
+        assert report.mean_sources_per_collaboration == pytest.approx(4.0)
+
+    def test_bias_on_simulation(self, sim2020, analysis2020):
+        """The reconstruction must recover a meaningful share of the
+        simulator's sharded campaigns and report inflation > 1."""
+        merged = merge_collaborative_scans(analysis2020.study_scans)
+        report = single_source_bias(analysis2020.study_scans, merged)
+        assert report.inflation_factor >= 1.0
+        truth = {}
+        for spec in sim2020.campaigns:
+            for ip in spec.src_ips:
+                truth[ip] = spec.campaign_id
+        evaluation = evaluate_merging(analysis2020.study_scans, merged, truth)
+        assert evaluation.pair_precision > 0.75
+        assert evaluation.pair_recall > 0.5
+
+
+class TestEvaluate:
+    def test_perfect_merge_scores_one(self):
+        rows = [(BASE + i, 100.0, 5000.0, Tool.ZMAP, [443]) for i in range(3)]
+        table = scan_table(rows)
+        merged = merge_collaborative_scans(table)
+        truth = {BASE + i: 1 for i in range(3)}
+        evaluation = evaluate_merging(table, merged, truth)
+        assert evaluation.pair_precision == 1.0
+        assert evaluation.pair_recall == 1.0
+
+    def test_overmerge_hurts_precision(self):
+        rows = [(BASE, 100.0, 5000.0, Tool.ZMAP, [443]),
+                (BASE + 1, 100.0, 5000.0, Tool.ZMAP, [443])]
+        table = scan_table(rows)
+        merged = merge_collaborative_scans(table)
+        truth = {BASE: 1, BASE + 1: 2}  # actually different campaigns
+        evaluation = evaluate_merging(table, merged, truth)
+        assert evaluation.pair_precision == 0.0
+
+
+class TestBlocklist:
+    def test_general_blocklist_goes_stale(self, analysis2020):
+        """§6.6: a list of last week's scanners blocks little of this week."""
+        results = blocklist_effectiveness(analysis2020.study_batch,
+                                          build_days=3.0)
+        assert results
+        mean_hit = np.mean([r.source_hit_rate for r in results])
+        assert mean_hit < 0.35
+
+    def test_institutional_filter_keeps_working(self, analysis2020):
+        inst = institutional_filter_effectiveness(analysis2020, build_days=3.0)
+        assert inst.list_size > 0
+        general = blocklist_effectiveness(analysis2020.study_batch,
+                                          build_days=3.0)
+        mean_general_sources = np.mean([r.list_size for r in general])
+        # Tiny list, outsized effect: far fewer entries than a general list,
+        # yet a material share of traffic.
+        assert inst.list_size < 0.05 * mean_general_sources
+        assert inst.packet_hit_rate > 0.03
+
+    def test_window_validation(self, analysis2020):
+        with pytest.raises(ValueError):
+            blocklist_effectiveness(analysis2020.study_batch, build_days=0)
+        with pytest.raises(ValueError):
+            blocklist_effectiveness(analysis2020.study_batch, lag_days=-1)
+
+    def test_empty_batch(self):
+        from repro.telescope.packet import PacketBatch
+        assert blocklist_effectiveness(PacketBatch.empty()) == []
+
+    def test_lag_reduces_hit_rate(self, analysis2020):
+        """Distribution delay makes the list even staler."""
+        fresh = blocklist_effectiveness(analysis2020.study_batch,
+                                        build_days=2.0, lag_days=0.0)
+        stale = blocklist_effectiveness(analysis2020.study_batch,
+                                        build_days=2.0, lag_days=2.0)
+        if fresh and stale:
+            assert (np.mean([r.source_hit_rate for r in stale])
+                    <= np.mean([r.source_hit_rate for r in fresh]) + 0.05)

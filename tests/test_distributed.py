@@ -1,0 +1,122 @@
+"""Tests for cross-subnet distributed-campaign detection and the per-scan
+intensity report."""
+
+import numpy as np
+import pytest
+
+from repro.core.campaigns import ScanTable
+from repro.core.collaboration import detect_distributed_campaigns
+from repro.core.trends import scan_intensity
+from repro.scanners import Tool
+
+
+def table(rows):
+    """rows: (src_ip, start, end, tool, ports, window, ttl)."""
+    n = len(rows)
+    return ScanTable(
+        src_ip=np.array([r[0] for r in rows], dtype=np.uint32),
+        start=np.array([r[1] for r in rows], dtype=float),
+        end=np.array([r[2] for r in rows], dtype=float),
+        packets=np.full(n, 200, dtype=np.int64),
+        distinct_dsts=np.full(n, 150, dtype=np.int64),
+        port_sets=[np.array(sorted(r[4]), dtype=np.int64) for r in rows],
+        primary_port=np.array([sorted(r[4])[0] for r in rows], dtype=np.uint16),
+        tool=np.array([r[3] for r in rows], dtype=object),
+        match_fraction=np.ones(n),
+        speed_pps=np.full(n, 500.0),
+        coverage=np.full(n, 0.004),
+        window_mode=np.array([r[5] for r in rows], dtype=np.uint16),
+        ttl_mode=np.array([r[6] for r in rows], dtype=np.uint8),
+    )
+
+
+def spread_sources(k, stride=1 << 16):
+    """k sources in k different /24s (actually different /16s)."""
+    return [0x0B000000 + i * stride for i in range(k)]
+
+
+class TestDistributedDetection:
+    def test_common_header_pattern_clusters(self):
+        rows = [(ip, 100.0, 5000.0, Tool.UNKNOWN, [5555], 29200, 50)
+                for ip in spread_sources(6)]
+        clusters = detect_distributed_campaigns(table(rows))
+        assert len(clusters) == 1
+        assert clusters[0].subnets == 6
+        assert clusters[0].window_mode == 29200
+        assert clusters[0].total_coverage == pytest.approx(0.024)
+
+    def test_different_windows_split(self):
+        rows = [(ip, 100.0, 5000.0, Tool.UNKNOWN, [5555], 29200, 50)
+                for ip in spread_sources(3)]
+        rows += [(ip, 100.0, 5000.0, Tool.UNKNOWN, [5555], 64240, 50)
+                 for ip in spread_sources(3, stride=1 << 20)]
+        clusters = detect_distributed_campaigns(table(rows), min_sources=3,
+                                                min_subnets=3)
+        assert len(clusters) == 2
+        windows = {c.window_mode for c in clusters}
+        assert windows == {29200, 64240}
+
+    def test_ttl_band_tolerates_path_variation(self):
+        # TTLs 48..55 sit in one 16-wide band; 20 does not.
+        rows = [(ip, 100.0, 5000.0, Tool.UNKNOWN, [443], 1024, 48 + i)
+                for i, ip in enumerate(spread_sources(5))]
+        rows.append((0x0F000000, 100.0, 5000.0, Tool.UNKNOWN, [443], 1024, 20))
+        clusters = detect_distributed_campaigns(table(rows), min_sources=4)
+        assert len(clusters) == 1
+        assert len(clusters[0].sources) == 5
+
+    def test_min_subnets_enforced(self):
+        # Six sources but all in one /24: shard merging's job, not this one.
+        rows = [(0x0B000000 + i, 100.0, 5000.0, Tool.UNKNOWN, [5555], 1024, 50)
+                for i in range(6)]
+        assert detect_distributed_campaigns(table(rows)) == []
+
+    def test_time_gap_splits(self):
+        early = [(ip, 0.0, 1000.0, Tool.UNKNOWN, [5555], 1024, 50)
+                 for ip in spread_sources(4)]
+        late = [(ip, 20 * 86400.0, 20 * 86400.0 + 1000.0, Tool.UNKNOWN,
+                 [5555], 1024, 50) for ip in spread_sources(4, stride=1 << 18)]
+        clusters = detect_distributed_campaigns(table(early + late))
+        assert len(clusters) == 2
+
+    def test_randomised_windows_do_not_cluster(self):
+        gen = np.random.default_rng(0)
+        rows = [(ip, 100.0, 5000.0, Tool.MIRAI, [2323],
+                 int(gen.integers(1024, 65535)), 50)
+                for ip in spread_sources(8)]
+        assert detect_distributed_campaigns(table(rows)) == []
+
+    def test_empty_and_validation(self):
+        assert detect_distributed_campaigns(ScanTable.empty()) == []
+        with pytest.raises(ValueError):
+            detect_distributed_campaigns(ScanTable.empty(), min_sources=1)
+
+    def test_on_simulation_custom_tool_clusters(self, analysis2020):
+        """The custom tool's fixed Linux window (29200) across many
+        independent sources is exactly the false-positive surface the
+        min_subnets/time constraints must keep in check; any clusters found
+        must genuinely share all pattern fields."""
+        clusters = detect_distributed_campaigns(analysis2020.study_scans)
+        scans = analysis2020.study_scans
+        for cluster in clusters:
+            for i in cluster.scan_indices:
+                assert int(scans.window_mode[i]) == cluster.window_mode
+                assert str(scans.tool[i]) == cluster.tool.value
+
+
+class TestScanIntensity:
+    def test_report_values(self):
+        rows = [(0x0B000000 + i, 0.0, 100.0 * (i + 1), Tool.UNKNOWN,
+                 [80], 1024, 50) for i in range(4)]
+        report = scan_intensity(table(rows))
+        assert report.scans == 4
+        assert report.median_packets == 200
+        assert report.mean_duration_s == pytest.approx(250.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            scan_intensity(ScanTable.empty())
+
+    def test_intensity_arc_over_decade(self, analysis2020):
+        report = scan_intensity(analysis2020.study_scans)
+        assert report.mean_packets > report.median_packets  # heavy tail

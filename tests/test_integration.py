@@ -1,0 +1,158 @@
+"""End-to-end integration: simulator → telescope → pipeline → reports.
+
+These tests close the loop: the analysis pipeline, which only ever sees
+packets, must recover the ground truth the simulator planted.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CampaignCriteria,
+    Tool,
+    analyze_simulation,
+    summarize_period,
+)
+from repro.core import analyze_period
+from repro.enrichment import ScannerClassifier
+from repro.enrichment.types import ScannerType
+from repro.telescope import read_trace, write_trace
+
+
+class TestRecoveryAgainstGroundTruth:
+    def test_most_campaigns_recovered(self, sim2020, analysis2020):
+        truth_observed = sum(c.shards for c in sim2020.campaigns)
+        recovered = len(analysis2020.scans)
+        # Period-edge censoring and 1 h-gap splits cost a bounded fraction.
+        assert recovered > 0.7 * truth_observed
+        assert recovered < 1.3 * truth_observed
+
+    def test_tool_attribution_accuracy(self, sim2020, analysis2020):
+        """Fingerprinted tools must match the generating tools per source."""
+        truth = {}
+        for spec in sim2020.campaigns:
+            for ip in spec.src_ips:
+                expected = spec.tool
+                if spec.tool == Tool.ZMAP and not spec.fingerprintable:
+                    expected = Tool.UNKNOWN
+                truth[ip] = expected
+        scans = analysis2020.scans
+        checked = correct = 0
+        for i in range(len(scans)):
+            expected = truth.get(int(scans.src_ip[i]))
+            if expected is None:
+                continue
+            checked += 1
+            if scans.tool[i] == expected:
+                correct += 1
+        assert checked > 100
+        assert correct / checked > 0.97
+
+    def test_scanner_type_recovery(self, sim2020, analysis2020):
+        truth = {}
+        for spec in sim2020.campaigns:
+            for ip in spec.src_ips:
+                truth[ip] = spec.scanner_type
+        scans = analysis2020.scans
+        checked = correct = 0
+        for i in range(len(scans)):
+            expected = truth.get(int(scans.src_ip[i]))
+            if expected is None:
+                continue
+            checked += 1
+            if scans.scanner_type[i] == expected:
+                correct += 1
+        assert correct / checked > 0.99
+
+    def test_organisation_recovery(self, sim2020, analysis2020):
+        truth_orgs = {ip: c.organisation for c in sim2020.campaigns
+                      for ip in c.src_ips if c.organisation}
+        scans = analysis2020.scans
+        hits = 0
+        for i in range(len(scans)):
+            org = truth_orgs.get(int(scans.src_ip[i]))
+            if org:
+                assert scans.organisation[i] == org
+                hits += 1
+        assert hits > 10
+
+    def test_speed_recovery_unbiased(self, sim2020, analysis2020):
+        """Measured speeds must track planted rates within a small factor."""
+        truth_rate = {}
+        for spec in sim2020.campaigns:
+            for ip in spec.src_ips:
+                truth_rate[ip] = spec.rate_pps / spec.shards
+        scans = analysis2020.scans
+        ratios = []
+        for i in range(len(scans)):
+            rate = truth_rate.get(int(scans.src_ip[i]))
+            if rate and not scans.sequential[i]:
+                ratios.append(scans.speed_pps[i] / rate)
+        ratios = np.array(ratios)
+        assert ratios.size > 50
+        assert 0.7 < np.median(ratios) < 1.4
+
+    def test_ports_recovery(self, sim2020, analysis2020):
+        # A source IP can run several campaigns (recurrence); truth is the
+        # union of everything it ever targeted.
+        truth_union = {}
+        truth_sets = {}
+        for spec in sim2020.campaigns:
+            for ip in spec.src_ips:
+                truth_union.setdefault(ip, set()).update(spec.ports)
+                truth_sets.setdefault(ip, []).append(set(spec.ports))
+        scans = analysis2020.scans
+        exact = checked = 0
+        for i in range(len(scans)):
+            union = truth_union.get(int(scans.src_ip[i]))
+            if union is None:
+                continue
+            observed = set(scans.port_sets[i].tolist())
+            checked += 1
+            # Observed ports must come from the source's campaigns.
+            assert observed <= union
+            if any(observed == s for s in truth_sets[int(scans.src_ip[i])]):
+                exact += 1
+        assert exact / checked > 0.5
+
+
+class TestCriteriaComparison:
+    def test_looser_criteria_find_more_scans(self, sim2020):
+        strict = analyze_simulation(sim2020)
+        loose = analyze_simulation(
+            sim2020, criteria=CampaignCriteria(min_distinct_dsts=50,
+                                               min_rate_pps=10.0)
+        )
+        assert len(loose.scans) >= len(strict.scans)
+
+
+class TestTraceRoundTripAnalysis:
+    def test_analysis_identical_after_serialisation(self, sim2020, tmp_path):
+        """Writing the capture to disk and re-analysing must not change
+        a single result."""
+        path = tmp_path / "capture.rtrace"
+        write_trace(path, sim2020.batch, meta={"year": sim2020.year})
+        loaded, meta = read_trace(path)
+        assert meta["year"] == 2020
+        a = analyze_simulation(sim2020)
+        classifier = ScannerClassifier(sim2020.registry)
+        b = analyze_period(loaded, year=meta["year"], days=sim2020.days,
+                           classifier=classifier)
+        assert len(a.scans) == len(b.scans)
+        assert np.array_equal(a.scans.src_ip, b.scans.src_ip)
+        assert np.array_equal(a.scans.packets, b.scans.packets)
+        assert list(a.scans.tool) == list(b.scans.tool)
+
+
+class TestSummaryConsistency:
+    def test_summary_matches_analysis(self, analysis2020):
+        summary = summarize_period(analysis2020)
+        assert summary.packets_per_day == pytest.approx(analysis2020.packets_per_day)
+        assert summary.scans_per_month == pytest.approx(analysis2020.scans_per_month)
+        assert summary.distinct_sources == analysis2020.distinct_sources
+
+    def test_institutional_packets_substantial(self, analysis2020):
+        """2020 calibration: institutional sources carry >5% of packets."""
+        from repro.core.classification import type_shares
+        rows = {r.scanner_type: r for r in type_shares(analysis2020)}
+        assert rows[ScannerType.INSTITUTIONAL].packets > 0.05

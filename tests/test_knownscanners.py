@@ -1,0 +1,92 @@
+"""Unit tests for institution profiles and the known-scanner feed."""
+
+import numpy as np
+import pytest
+
+from repro.enrichment import (
+    DEFAULT_INSTITUTIONS,
+    InstitutionProfile,
+    KnownScannerFeed,
+    institutions_active_in,
+    profile_by_name,
+)
+
+
+class TestProfiles:
+    def test_catalogue_nonempty(self):
+        assert len(DEFAULT_INSTITUTIONS) >= 20
+
+    def test_profile_by_name(self):
+        assert profile_by_name("Censys").country == "US"
+        with pytest.raises(KeyError):
+            profile_by_name("Nonexistent Org")
+
+    def test_coverage_zero_before_first_year(self):
+        censys = profile_by_name("Censys")
+        assert censys.coverage_in(2015) == 0.0
+
+    def test_censys_full_range_by_2024(self):
+        """§5.1/§6.8: Censys reaches all 65,536 ports by 2024."""
+        censys = profile_by_name("Censys")
+        assert censys.coverage_in(2024) == 1.0
+        assert censys.ports_in(2024) == 65536
+
+    def test_palo_alto_full_range_2024(self):
+        assert profile_by_name("Palo Alto Networks").coverage_in(2024) == 1.0
+
+    def test_onyphe_doubles_2023_to_2024(self):
+        """§6.8: Onyphe scales from under half to the full range."""
+        onyphe = profile_by_name("Onyphe")
+        assert onyphe.coverage_in(2023) < 0.5
+        assert onyphe.coverage_in(2024) == 1.0
+
+    def test_shadowserver_rapid7_not_full(self):
+        """Figure 8: Shadowserver and Rapid7 do not yet cover all ports."""
+        for name in ("Shadowserver Foundation", "Rapid7"):
+            assert profile_by_name(name).coverage_in(2024) < 0.99
+
+    def test_universities_tiny_and_flat(self):
+        """§6.8: universities target a few ports with no growth."""
+        for name in ("University of Michigan", "UCSD", "TU Munich"):
+            profile = profile_by_name(name)
+            assert profile.ports_in(2024) < 100
+            first = profile.ports_in(max(profile.first_year, 2015))
+            assert profile.ports_in(2024) <= first * 3 + 5
+
+    def test_interpolation_monotone_for_censys(self):
+        censys = profile_by_name("Censys")
+        values = [censys.coverage_in(y) for y in range(2016, 2025)]
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_active_in_grows(self):
+        assert len(institutions_active_in(2015)) < len(institutions_active_in(2024))
+
+    def test_active_in_respects_first_year(self):
+        names_2015 = {p.name for p in institutions_active_in(2015)}
+        assert "Palo Alto Networks" not in names_2015
+        assert "Shodan" in names_2015
+
+
+class TestFeed:
+    def test_feed_covers_catalogue(self, feed):
+        assert len(feed.organisations()) == len(DEFAULT_INSTITUTIONS)
+
+    def test_is_known_for_org_space(self, registry, feed, rng):
+        ips = registry.sample_addresses(rng, 50, organisation="Rapid7")
+        assert np.all(feed.is_known(ips))
+        assert set(feed.organisation_of(ips).tolist()) == {"Rapid7"}
+
+    def test_is_known_negative(self, registry, feed, rng):
+        from repro.enrichment import AllocationType
+        ips = registry.sample_addresses(rng, 50, alloc_type=AllocationType.RESIDENTIAL)
+        assert not feed.is_known(ips).any()
+        assert all(o == "" for o in feed.organisation_of(ips))
+
+    def test_feed_requires_registry(self):
+        with pytest.raises(TypeError):
+            KnownScannerFeed(object())
+
+    def test_empty_array_handling(self, feed):
+        empty = np.array([], dtype=np.uint32)
+        assert feed.is_known(empty).size == 0
+        assert feed.organisation_of(empty).size == 0

@@ -1,0 +1,140 @@
+"""Tests for the ZMap permutation / sharding substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.scanners.permutation import (
+    DEFAULT_GENERATOR,
+    ZMAP_PRIME,
+    ZMapPermutation,
+    is_generator,
+    is_probable_prime,
+    shard_set,
+)
+
+# A small prime with full-group generator for exhaustive walks.
+SMALL_PRIME = 257          # 2^8 + 1
+SMALL_GENERATOR = 3        # generator mod 257
+
+
+class TestPrimality:
+    @pytest.mark.parametrize("n", [2, 3, 5, 7, 257, 65537, ZMAP_PRIME])
+    def test_primes(self, n):
+        assert is_probable_prime(n)
+
+    @pytest.mark.parametrize("n", [0, 1, 4, 9, 255, 2**32, 2**32 + 1])
+    def test_composites(self, n):
+        assert not is_probable_prime(n)
+
+    def test_zmap_prime_is_smallest_above_2_32(self):
+        assert is_probable_prime(ZMAP_PRIME)
+        for n in range(2**32, ZMAP_PRIME):
+            assert not is_probable_prime(n)
+
+
+class TestGenerator:
+    def test_small_generator(self):
+        assert is_generator(SMALL_GENERATOR, SMALL_PRIME)
+
+    def test_non_generator(self):
+        # 4 = 2^2 generates only a subgroup of even order mod 257.
+        assert not is_generator(4, SMALL_PRIME)
+
+    def test_default_generator_of_zmap_prime(self):
+        assert is_generator(DEFAULT_GENERATOR, ZMAP_PRIME)
+
+    def test_composite_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            is_generator(3, 10)
+
+
+class TestUnshardedWalk:
+    def test_visits_every_address_exactly_once(self):
+        perm = ZMapPermutation(prime=SMALL_PRIME, generator=SMALL_GENERATOR,
+                               space_size=200)
+        visited = list(perm)
+        assert len(visited) == 200
+        assert sorted(visited) == list(range(1, 201))
+
+    def test_range_skipping(self):
+        perm = ZMapPermutation(prime=SMALL_PRIME, generator=SMALL_GENERATOR,
+                               space_size=100)
+        visited = list(perm)
+        assert sorted(visited) == list(range(1, 101))
+
+    def test_order_is_not_sequential(self):
+        perm = ZMapPermutation(prime=SMALL_PRIME, generator=SMALL_GENERATOR,
+                               space_size=256)
+        first = perm.take(20)
+        assert first != sorted(first)
+
+    def test_different_starts_rotate_walk(self):
+        a = ZMapPermutation(prime=SMALL_PRIME, generator=SMALL_GENERATOR,
+                            space_size=256, start=1)
+        b = ZMapPermutation(prime=SMALL_PRIME, generator=SMALL_GENERATOR,
+                            space_size=256, start=7)
+        assert list(a) != list(b)
+        assert sorted(a) == sorted(b)
+
+    def test_take(self):
+        perm = ZMapPermutation(prime=SMALL_PRIME, generator=SMALL_GENERATOR,
+                               space_size=256)
+        assert len(perm.take(10)) == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZMapPermutation(prime=10)
+        with pytest.raises(ValueError):
+            ZMapPermutation(prime=SMALL_PRIME, space_size=SMALL_PRIME)
+        with pytest.raises(ValueError):
+            ZMapPermutation(prime=SMALL_PRIME, space_size=100, shards=0)
+        with pytest.raises(ValueError):
+            ZMapPermutation(prime=SMALL_PRIME, space_size=100,
+                            shard=2, shards=2)
+        with pytest.raises(ValueError):
+            ZMapPermutation(prime=SMALL_PRIME, space_size=100, start=0)
+
+
+class TestSharding:
+    @pytest.mark.parametrize("shards", [2, 3, 4, 8])
+    def test_shards_partition_the_space(self, shards):
+        """The defining property: shards are disjoint and jointly complete."""
+        slices = shard_set(shards, prime=SMALL_PRIME,
+                           generator=SMALL_GENERATOR, space_size=256)
+        seen = []
+        for s in slices:
+            seen.extend(s)
+        assert sorted(seen) == list(range(1, 257))
+
+    def test_shard_sizes_balanced(self):
+        slices = shard_set(4, prime=SMALL_PRIME, generator=SMALL_GENERATOR,
+                           space_size=256)
+        sizes = [len(list(s)) for s in slices]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_expected_share(self):
+        slices = shard_set(4, prime=SMALL_PRIME, generator=SMALL_GENERATOR,
+                           space_size=256)
+        for s in slices:
+            assert s.expected_share() == pytest.approx(0.25, abs=0.01)
+
+    def test_zmap_prime_shard_prefix_disjoint(self):
+        """On the real 2^32+15 prime, shard prefixes must not overlap."""
+        slices = shard_set(3)
+        prefixes = [set(s.take(2000)) for s in slices]
+        assert not (prefixes[0] & prefixes[1])
+        assert not (prefixes[0] & prefixes[2])
+        assert not (prefixes[1] & prefixes[2])
+
+    @given(st.integers(min_value=1, max_value=6),
+           st.integers(min_value=1, max_value=SMALL_PRIME - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_partition_property(self, shards, start):
+        slices = shard_set(shards, prime=SMALL_PRIME,
+                           generator=SMALL_GENERATOR, space_size=256,
+                           start=start)
+        seen = []
+        for s in slices:
+            seen.extend(s)
+        assert sorted(seen) == list(range(1, 257))

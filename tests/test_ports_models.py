@@ -1,0 +1,152 @@
+"""Unit and property tests for port-selection models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simulation.ports import (
+    ALIAS_GROUPS,
+    PortSelector,
+    PortsPerScanModel,
+    alias_ports_of,
+)
+
+
+class TestAliasGroups:
+    def test_known_aliases(self):
+        assert 8080 in alias_ports_of(80)
+        assert 2323 in alias_ports_of(23)
+        assert 8443 in alias_ports_of(443)
+        assert 2222 in alias_ports_of(22)
+
+    def test_unknown_port_empty(self):
+        assert alias_ports_of(12345) == ()
+
+    def test_groups_are_valid_ports(self):
+        for primary, aliases in ALIAS_GROUPS.items():
+            assert 0 < primary < 65536
+            assert all(0 < a < 65536 for a in aliases)
+
+
+class TestPortsPerScanModel:
+    def make(self, p1=0.8, p2=0.15, p3=0.04, p4=0.009, p5=0.001):
+        return PortsPerScanModel(p1, p2, p3, p4, p5)
+
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            PortsPerScanModel(0.5, 0.1, 0.1, 0.1, 0.1)
+
+    def test_sample_ranges(self, rng):
+        model = self.make()
+        counts = model.sample_counts(rng, 20_000)
+        assert counts.min() >= 1
+        assert counts.max() <= 65536
+
+    def test_single_port_fraction_matches(self, rng):
+        model = self.make(p1=0.83, p2=0.1498, p3=0.0195, p4=0.0006, p5=0.0001)
+        counts = model.sample_counts(rng, 50_000)
+        assert abs(np.mean(counts == 1) - 0.83) < 0.01
+
+    def test_class_boundaries(self, rng):
+        model = PortsPerScanModel(0.0, 1.0, 0.0, 0.0, 0.0)
+        counts = model.sample_counts(rng, 1000)
+        assert counts.min() >= 2 and counts.max() <= 4
+
+    def test_vertical_class(self, rng):
+        model = PortsPerScanModel(0.0, 0.0, 0.0, 0.0, 1.0)
+        counts = model.sample_counts(rng, 100)
+        assert counts.min() > 10_000
+
+    @given(st.integers(min_value=1, max_value=500))
+    @settings(max_examples=20, deadline=None)
+    def test_sample_size_property(self, n):
+        model = self.make()
+        counts = model.sample_counts(np.random.default_rng(n), n)
+        assert counts.size == n
+
+
+class TestPortSelector:
+    def make(self, **kwargs):
+        defaults = dict(
+            port_weights={80: 10.0, 22: 5.0, 443: 3.0},
+            tail_fraction=0.1,
+            alias_adoption=0.5,
+            rng=7,
+        )
+        defaults.update(kwargs)
+        return PortSelector(**defaults)
+
+    def test_requires_weights_or_tail(self):
+        with pytest.raises(ValueError):
+            PortSelector({}, tail_fraction=0.0)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            PortSelector({80: -1.0})
+
+    def test_primary_distribution(self):
+        selector = self.make(tail_fraction=0.0)
+        draws = selector.sample_primary(30_000)
+        share_80 = np.mean(draws == 80)
+        assert abs(share_80 - 10 / 18) < 0.02
+
+    def test_tail_fraction(self):
+        selector = self.make(tail_fraction=0.5)
+        draws = selector.sample_primary(20_000)
+        named = np.isin(draws, [80, 22, 443])
+        # The tail occasionally lands on named ports too, so "not named"
+        # slightly undercounts the tail.
+        assert 0.40 < np.mean(~named) < 0.55
+
+    def test_tail_range_respected(self):
+        selector = self.make(tail_fraction=1.0, tail_port_range=(1000, 2000))
+        draws = selector.sample_primary(5000)
+        assert draws.min() >= 1000 and draws.max() <= 2000
+
+    def test_tail_range_validation(self):
+        with pytest.raises(ValueError):
+            self.make(tail_port_range=(2000, 1000))
+
+    def test_port_set_single(self):
+        selector = self.make()
+        assert selector.sample_port_set(80, 1).tolist() == [80]
+
+    def test_port_set_contains_primary(self):
+        selector = self.make()
+        for count in (2, 5, 20, 500):
+            ports = selector.sample_port_set(80, count)
+            assert 80 in ports
+            assert ports.size <= count
+
+    def test_port_set_distinct_sorted(self):
+        selector = self.make()
+        ports = selector.sample_port_set(80, 50)
+        assert np.unique(ports).size == ports.size
+        assert np.all(np.diff(ports) > 0)
+
+    def test_alias_adoption_full(self):
+        selector = self.make(alias_adoption=1.0)
+        hits = 0
+        for _ in range(100):
+            ports = selector.sample_port_set(80, 3)
+            if 8080 in ports:
+                hits += 1
+        assert hits == 100
+
+    def test_alias_adoption_zero(self):
+        selector = self.make(alias_adoption=0.0)
+        hits = sum(8080 in selector.sample_port_set(80, 2) for _ in range(200))
+        # 8080 can still appear by random draw, but rarely (not in weights).
+        assert hits < 20
+
+    def test_vertical_port_set_contiguous_window(self):
+        selector = self.make()
+        ports = selector.sample_port_set(80, 20_000)
+        assert ports.size >= 19_000
+        assert ports.min() >= 1 and ports.max() <= 65535
+
+    def test_count_validation(self):
+        with pytest.raises(ValueError):
+            self.make().sample_port_set(80, 0)
+        with pytest.raises(ValueError):
+            self.make().sample_port_set(70000, 2)

@@ -1,0 +1,179 @@
+"""Unit tests for recurrence (§6.6) and event-response (§4.3) analyses."""
+
+import numpy as np
+import pytest
+
+from repro.core.campaigns import ScanTable
+from repro.core.events import event_response, port_daily_packets
+from repro.core.pipeline import PeriodAnalysis, analyze_period
+from repro.core.recurrence import (
+    institutional_daily_scanners,
+    recurrence_by_type,
+    recurrence_stats,
+)
+from repro.enrichment.types import ScannerType
+from repro.scanners import Tool
+from repro.telescope.packet import PacketBatch
+
+_DAY = 86_400.0
+
+
+def table_with_scan_times(per_source, scanner_type=None):
+    """Build a ScanTable from {src: [start times]}."""
+    src, start = [], []
+    for s, times in per_source.items():
+        for t in times:
+            src.append(s)
+            start.append(t)
+    n = len(src)
+    start_arr = np.array(start, dtype=float)
+    table = ScanTable(
+        src_ip=np.array(src, dtype=np.uint32),
+        start=start_arr,
+        end=start_arr + 60.0,
+        packets=np.full(n, 200, dtype=np.int64),
+        distinct_dsts=np.full(n, 150, dtype=np.int64),
+        port_sets=[np.array([80], dtype=np.int64)] * n,
+        primary_port=np.full(n, 80, dtype=np.uint16),
+        tool=np.array([Tool.UNKNOWN] * n, dtype=object),
+        match_fraction=np.ones(n),
+        speed_pps=np.full(n, 500.0),
+        coverage=np.full(n, 0.01),
+    )
+    if scanner_type is not None:
+        table.scanner_type = np.array([scanner_type] * n, dtype=object)
+    return table
+
+
+class TestRecurrenceStats:
+    def test_single_shot_sources(self):
+        table = table_with_scan_times({1: [0.0], 2: [100.0]})
+        stats = recurrence_stats(table)
+        assert stats.sources == 2
+        assert stats.fraction_recurring == 0.0
+        assert stats.downtime_cdf[0].size == 0
+
+    def test_recurring_source_downtimes(self):
+        table = table_with_scan_times({1: [0.0, _DAY, 2 * _DAY]})
+        stats = recurrence_stats(table)
+        assert stats.fraction_recurring == 1.0
+        assert stats.fraction_downtime_within_day == 1.0
+        assert stats.daily_mode_fraction == 1.0
+
+    def test_weekly_scanner_not_daily_mode(self):
+        table = table_with_scan_times({1: [0.0, 7 * _DAY, 14 * _DAY]})
+        stats = recurrence_stats(table)
+        assert stats.daily_mode_fraction == 0.0
+        assert stats.fraction_downtime_within_day == 0.0
+
+    def test_over_100_scans_fraction(self):
+        table = table_with_scan_times({
+            1: [i * 3600.0 for i in range(150)],
+            2: [0.0],
+        })
+        stats = recurrence_stats(table)
+        assert stats.fraction_over_100_scans == pytest.approx(0.5)
+
+    def test_empty(self):
+        stats = recurrence_stats(table_with_scan_times({}))
+        assert stats.sources == 0
+
+    def test_by_type_split(self):
+        inst = table_with_scan_times({1: [0.0, _DAY]},
+                                     scanner_type=ScannerType.INSTITUTIONAL)
+        res = table_with_scan_times({2: [0.0]},
+                                    scanner_type=ScannerType.RESIDENTIAL)
+        # Merge by stacking columns via select-trick: use separate tables.
+        merged = table_with_scan_times({1: [0.0, _DAY], 2: [0.0]})
+        merged.scanner_type = np.array(
+            [ScannerType.INSTITUTIONAL, ScannerType.INSTITUTIONAL,
+             ScannerType.RESIDENTIAL], dtype=object)
+        by_type = recurrence_by_type(merged)
+        assert by_type[ScannerType.INSTITUTIONAL].fraction_recurring == 1.0
+        assert by_type[ScannerType.RESIDENTIAL].fraction_recurring == 0.0
+
+    def test_institutional_daily_scanners(self):
+        daily = {1: [i * _DAY for i in range(10)]}
+        sparse = {2: [i * 5 * _DAY for i in range(6)]}
+        table = table_with_scan_times({**daily, **sparse},
+                                      scanner_type=ScannerType.INSTITUTIONAL)
+        assert institutional_daily_scanners(table) == 1
+
+
+def event_batch(port=8291, days=20, disclosure_day=5, baseline_per_day=50,
+                spike=30, decay_days=3.0, seed=0):
+    """A batch with flat baseline and a decaying post-disclosure surge."""
+    gen = np.random.default_rng(seed)
+    times = []
+    for day in range(days):
+        count = int(gen.poisson(baseline_per_day))
+        if day >= disclosure_day:
+            count += int(baseline_per_day * spike *
+                         0.5 ** ((day - disclosure_day) / decay_days))
+        times.extend(gen.uniform(day * _DAY, (day + 1) * _DAY, count).tolist())
+    n = len(times)
+    return PacketBatch(
+        time=np.sort(np.array(times)),
+        src_ip=gen.integers(1, 2**31, n, dtype=np.uint32),
+        dst_ip=gen.integers(0x64400000, 0x64410000, n, dtype=np.uint32),
+        src_port=gen.integers(1024, 65535, n, dtype=np.uint16),
+        dst_port=np.full(n, port, dtype=np.uint16),
+        ip_id=gen.integers(0, 2**16, n, dtype=np.uint16),
+        seq=gen.integers(0, 2**32, n, dtype=np.uint32),
+        ttl=np.full(n, 50, dtype=np.uint8),
+        window=np.full(n, 1024, dtype=np.uint16),
+        flags=np.full(n, 2, dtype=np.uint8),
+    )
+
+
+class TestEventResponse:
+    def test_daily_series_shape(self):
+        batch = event_batch()
+        daily = port_daily_packets(batch, 8291, 20)
+        assert daily.size == 20
+        assert daily[:5].mean() == pytest.approx(50, rel=0.05)
+        assert daily[5] > 1000
+
+    def test_daily_series_other_port_empty(self):
+        batch = event_batch()
+        assert port_daily_packets(batch, 9999, 20).sum() == 0
+
+    def test_days_validation(self):
+        with pytest.raises(ValueError):
+            port_daily_packets(event_batch(), 8291, 0)
+
+    def _analysis(self, batch, days=20):
+        return analyze_period(batch, year=2018, days=days)
+
+    def test_spike_and_decay_measured(self):
+        analysis = self._analysis(event_batch())
+        response = event_response(analysis, 8291, 5)
+        assert response.peak_factor > 10
+        # Activity must have decayed most of the way back by the period end.
+        assert response.relative_series[-1] < 0.15 * response.peak_factor
+
+    def test_returns_to_normal(self):
+        """§4.3: the KS test finds the distribution back to baseline."""
+        analysis = self._analysis(event_batch(decay_days=1.5))
+        response = event_response(analysis, 8291, 5)
+        assert response.returned_to_normal
+        assert response.days_to_normal is not None
+        assert response.days_to_normal <= 15
+
+    def test_no_event_port_stays_normal(self):
+        analysis = self._analysis(event_batch(spike=0))
+        response = event_response(analysis, 8291, 5)
+        assert response.peak_factor < 1.5
+        assert response.days_to_normal == 0
+
+    def test_disclosure_day_bounds(self):
+        analysis = self._analysis(event_batch())
+        with pytest.raises(ValueError):
+            event_response(analysis, 8291, 25)
+        with pytest.raises(ValueError):
+            event_response(analysis, 8291, -1)
+
+    def test_window_validation(self):
+        analysis = self._analysis(event_batch())
+        with pytest.raises(ValueError):
+            event_response(analysis, 8291, 5, window_days=1)

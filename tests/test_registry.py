@@ -1,0 +1,128 @@
+"""Unit tests for the synthetic Internet registry."""
+
+import numpy as np
+import pytest
+
+from repro.enrichment import AllocationType, COUNTRIES, build_default_registry
+from repro.enrichment.registry import InternetRegistry, PrefixRecord
+from repro.telescope.addresses import CidrBlock
+
+
+class TestConstruction:
+    def test_deterministic(self):
+        a = build_default_registry()
+        b = build_default_registry()
+        assert len(a) == len(b)
+        assert all(x.block == y.block and x.asn == y.asn
+                   for x, y in zip(a.records, b.records))
+
+    def test_overlap_rejected(self):
+        recs = [
+            PrefixRecord(CidrBlock.parse("10.0.0.0/24"), 1, "a", "US",
+                         AllocationType.HOSTING),
+            PrefixRecord(CidrBlock.parse("10.0.0.128/25"), 2, "b", "US",
+                         AllocationType.HOSTING),
+        ]
+        with pytest.raises(ValueError):
+            InternetRegistry(recs)
+
+    def test_all_countries_present(self, registry):
+        countries = {r.country for r in registry.records}
+        assert set(COUNTRIES) <= countries
+
+    def test_all_types_present(self, registry):
+        types = {r.alloc_type for r in registry.records}
+        assert types == set(AllocationType)
+
+    def test_telescope_space_untouched(self, registry):
+        # 100.64.0.0 – 100.66.255.255 must stay unallocated.
+        lo, hi = 0x64400000, 0x6442FFFF
+        for record in registry.records:
+            assert record.block.last < lo or record.block.first > hi
+
+    def test_fpt_asn_present(self, registry):
+        probe = [r for r in registry.records if r.asn == 18403]
+        assert len(probe) == 1
+        assert probe[0].country == "VN"
+        assert probe[0].alloc_type == AllocationType.ENTERPRISE
+
+
+class TestLookup:
+    def test_lookup_hit(self, registry):
+        record = registry.records[10]
+        hit = registry.lookup(record.block.first + 5)
+        assert hit == record
+
+    def test_lookup_miss(self, registry):
+        assert registry.lookup(100) is None  # below the allocation base
+
+    def test_lookup_indices_vectorised(self, registry):
+        record = registry.records[0]
+        arr = np.array([record.block.first, 0], dtype=np.uint32)
+        idx = registry.lookup_indices(arr)
+        assert idx[0] == 0 and idx[1] == -1
+
+    def test_country_of_default(self, registry):
+        got = registry.country_of(np.array([5], dtype=np.uint32))
+        assert got[0] == "??"
+
+    def test_type_of(self, registry):
+        record = next(r for r in registry.records
+                      if r.alloc_type == AllocationType.RESIDENTIAL)
+        got = registry.type_of(np.array([record.block.first], dtype=np.uint32))
+        assert got[0] == "residential"
+
+    def test_asn_of(self, registry):
+        record = registry.records[3]
+        got = registry.asn_of(np.array([record.block.first], dtype=np.uint32))
+        assert got[0] == record.asn
+
+    def test_prefixes_of_org(self, registry):
+        censys = registry.prefixes_of_org("Censys")
+        assert len(censys) == 8
+        assert all(p.alloc_type == AllocationType.INSTITUTIONAL for p in censys)
+
+    def test_organisations_sorted(self, registry):
+        orgs = registry.organisations()
+        assert list(orgs) == sorted(orgs)
+
+
+class TestSampling:
+    def test_sample_respects_filters(self, registry, rng):
+        ips = registry.sample_addresses(rng, 100, country="NL",
+                                        alloc_type=AllocationType.HOSTING)
+        assert np.all(registry.country_of(ips) == "NL")
+        assert np.all(registry.type_of(ips) == "hosting")
+
+    def test_sample_org(self, registry, rng):
+        ips = registry.sample_addresses(rng, 20, organisation="Shodan")
+        idx = registry.lookup_indices(ips)
+        assert np.all(idx >= 0)
+        for i in set(idx.tolist()):
+            assert registry.records[i].organisation == "Shodan"
+
+    def test_sample_no_match_raises(self, registry, rng):
+        with pytest.raises(ValueError):
+            registry.sample_addresses(rng, 5, country="XX")
+
+    def test_sample_from_prefixes_weights(self, registry, rng):
+        indices = registry.matching_prefix_indices(
+            country="CN", alloc_type=AllocationType.RESIDENTIAL
+        )
+        assert len(indices) >= 2
+        weights = [1.0] + [0.0] * (len(indices) - 1)
+        ips = registry.sample_from_prefixes(rng, indices, 200, weights=weights)
+        block = registry.records[indices[0]].block
+        assert np.all(block.contains_array(ips))
+
+    def test_sample_from_prefixes_rejects_bad_weights(self, registry, rng):
+        indices = registry.matching_prefix_indices(country="CN")
+        with pytest.raises(ValueError):
+            registry.sample_from_prefixes(rng, indices, 5, weights=[1.0])
+
+    def test_sample_from_prefixes_empty(self, registry, rng):
+        with pytest.raises(ValueError):
+            registry.sample_from_prefixes(rng, [], 5)
+
+    def test_matching_prefix_indices_empty_for_unknown(self, registry):
+        assert registry.matching_prefix_indices(country="XX") == []

@@ -1,0 +1,229 @@
+"""Unit and property tests for the scanner tool wire-behaviour models.
+
+The critical invariant: every generator satisfies its published fingerprint
+relation on all packets, and unrelated generators do not satisfy it beyond
+chance rates.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.scanners import (
+    CustomToolModel,
+    HeaderFields,
+    MasscanModel,
+    MiraiModel,
+    NMapModel,
+    STOCK_PORT_MIX,
+    TargetOrder,
+    Tool,
+    UnicornModel,
+    ZMAP_IP_ID,
+    ZMapModel,
+    masscan_ip_id,
+    model_for,
+    nmap_pair_relation_holds,
+    registered_tools,
+    unicorn_seq,
+)
+
+
+def targets(n=500, seed=0):
+    gen = np.random.default_rng(seed)
+    return (gen.integers(0, 2**32, n, dtype=np.uint32),
+            gen.integers(1, 2**16, n, dtype=np.uint16))
+
+
+class TestRegistry:
+    def test_all_tools_registered(self):
+        assert set(registered_tools()) == {
+            Tool.ZMAP, Tool.MASSCAN, Tool.NMAP, Tool.MIRAI, Tool.UNICORN,
+            Tool.UNKNOWN,
+        }
+
+    def test_model_for_instantiates(self):
+        for tool in registered_tools():
+            model = model_for(tool, rng=1)
+            assert model.tool == tool
+
+    def test_model_for_unknown_key(self):
+        with pytest.raises(KeyError):
+            model_for("not-a-tool")
+
+
+class TestHeaderFields:
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            HeaderFields(
+                src_port=np.zeros(2, dtype=np.uint16),
+                ip_id=np.zeros(3, dtype=np.uint16),
+                seq=np.zeros(2, dtype=np.uint32),
+                ttl=np.zeros(2, dtype=np.uint8),
+                window=np.zeros(2, dtype=np.uint16),
+            )
+
+    def test_craft_rejects_mismatched_targets(self):
+        dip, dpt = targets(10)
+        with pytest.raises(ValueError):
+            MasscanModel(rng=0).craft(dip, dpt[:5])
+
+
+class TestZMap:
+    def test_stock_ip_id(self):
+        dip, dpt = targets()
+        fields = ZMapModel(rng=1).craft(dip, dpt)
+        assert np.all(fields.ip_id == ZMAP_IP_ID)
+
+    def test_defingerprinted_ip_id_random(self):
+        dip, dpt = targets()
+        fields = ZMapModel(rng=1, fingerprintable=False).craft(dip, dpt)
+        assert np.mean(fields.ip_id == ZMAP_IP_ID) < 0.01
+
+    def test_validation_deterministic_per_instance(self):
+        dip, dpt = targets(50)
+        m = ZMapModel(rng=7)
+        a = m.craft(dip, dpt)
+        b = m.craft(dip, dpt)
+        assert np.array_equal(a.seq, b.seq)
+
+    def test_validation_differs_between_instances(self):
+        dip, dpt = targets(50)
+        a = ZMapModel(rng=1).craft(dip, dpt)
+        b = ZMapModel(rng=2).craft(dip, dpt)
+        assert not np.array_equal(a.seq, b.seq)
+
+    def test_shard_bounds(self):
+        with pytest.raises(ValueError):
+            ZMapModel(rng=0, shard=2, shards=2)
+        with pytest.raises(ValueError):
+            ZMapModel(rng=0, shards=0)
+
+    def test_permutation_order(self):
+        assert ZMapModel.target_order == TargetOrder.RANDOM_PERMUTATION
+
+
+class TestMasscan:
+    def test_ip_id_relation_holds(self):
+        dip, dpt = targets()
+        fields = MasscanModel(rng=3).craft(dip, dpt)
+        assert np.all(fields.ip_id == masscan_ip_id(dip, dpt, fields.seq))
+
+    def test_syn_cookie_depends_on_entropy(self):
+        dip, dpt = targets(50)
+        a = MasscanModel(rng=1).craft(dip, dpt)
+        b = MasscanModel(rng=2).craft(dip, dpt)
+        assert not np.array_equal(a.seq, b.seq)
+
+    def test_other_tools_fail_relation(self):
+        dip, dpt = targets(2000)
+        for model in (ZMapModel(rng=1), MiraiModel(rng=2), CustomToolModel(rng=3)):
+            fields = model.craft(dip, dpt)
+            fp_rate = np.mean(fields.ip_id == masscan_ip_id(dip, dpt, fields.seq))
+            assert fp_rate < 0.01, type(model).__name__
+
+
+class TestNMap:
+    def test_pair_relation_within_session(self):
+        dip, dpt = targets(200)
+        fields = NMapModel(rng=5).craft(dip, dpt)
+        seqs = fields.seq.tolist()
+        assert all(nmap_pair_relation_holds(seqs[0], s) for s in seqs[1:])
+
+    def test_relation_fails_across_sessions(self):
+        dip, dpt = targets(100)
+        a = NMapModel(rng=1).craft(dip, dpt).seq
+        b = NMapModel(rng=2).craft(dip, dpt).seq
+        matches = sum(nmap_pair_relation_holds(int(x), int(y))
+                      for x, y in zip(a[:50], b[:50]))
+        assert matches < 5
+
+    def test_secret_exposed_property(self):
+        m = NMapModel(rng=4)
+        assert 0 <= m.session_secret < 2**32
+
+    def test_sequential_order(self):
+        assert NMapModel.target_order == TargetOrder.SEQUENTIAL
+
+    def test_random_pairs_rarely_match(self, rng):
+        a = rng.integers(0, 2**32, 5000)
+        b = rng.integers(0, 2**32, 5000)
+        rate = np.mean([nmap_pair_relation_holds(int(x), int(y))
+                        for x, y in zip(a, b)])
+        # Chance rate is 2^-16.
+        assert rate < 0.001
+
+
+class TestMirai:
+    def test_seq_is_dst_ip(self):
+        dip, dpt = targets()
+        fields = MiraiModel(rng=1).craft(dip, dpt)
+        assert np.array_equal(fields.seq, dip)
+
+    def test_stock_port_mix(self, rng):
+        m = MiraiModel(rng=1)
+        ports = m.choose_stock_ports(rng, 10_000)
+        share_23 = np.mean(ports == 23)
+        assert 0.88 < share_23 < 0.92
+        assert set(np.unique(ports).tolist()) == {23, 2323}
+        assert [p for p, _ in STOCK_PORT_MIX] == [23, 2323]
+
+
+class TestUnicorn:
+    def test_pairwise_relation(self):
+        dip, dpt = targets(300)
+        fields = UnicornModel(rng=9).craft(dip, dpt)
+        left = (fields.seq[:-1].astype(np.uint32) ^ fields.seq[1:].astype(np.uint32))
+        right = (
+            (dip[:-1].astype(np.uint32) ^ dip[1:].astype(np.uint32))
+            ^ (fields.src_port[:-1].astype(np.uint32) ^ fields.src_port[1:].astype(np.uint32))
+            ^ ((dpt[:-1].astype(np.uint32) ^ dpt[1:].astype(np.uint32)) << np.uint32(16))
+        )
+        assert np.array_equal(left, right)
+
+    def test_construction_helper_matches_model(self):
+        dip, dpt = targets(50)
+        model = UnicornModel(rng=2)
+        fields = model.craft(dip, dpt)
+        rebuilt = unicorn_seq(dip, dpt, fields.src_port, model._key)
+        assert np.array_equal(fields.seq, rebuilt)
+
+
+class TestCustom:
+    def test_ip_id_increments(self):
+        dip, dpt = targets(100)
+        model = CustomToolModel(rng=0)
+        fields = model.craft(dip, dpt)
+        deltas = np.diff(fields.ip_id.astype(np.int64)) % (1 << 16)
+        assert np.all(deltas == 1)
+
+    def test_counter_persists_across_calls(self):
+        dip, dpt = targets(10)
+        model = CustomToolModel(rng=0)
+        a = model.craft(dip, dpt)
+        b = model.craft(dip, dpt)
+        assert (int(b.ip_id[0]) - int(a.ip_id[-1])) % (1 << 16) == 1
+
+    def test_sequential_flag(self):
+        assert CustomToolModel(rng=0, sequential=True).target_order == TargetOrder.SEQUENTIAL
+        assert CustomToolModel(rng=0).target_order == TargetOrder.RANDOM_PERMUTATION
+
+
+class TestFieldRanges:
+    @pytest.mark.parametrize("tool", list(Tool))
+    def test_all_fields_in_range(self, tool):
+        dip, dpt = targets(300, seed=42)
+        fields = model_for(tool, rng=1).craft(dip, dpt)
+        assert fields.src_port.dtype == np.uint16
+        assert fields.ip_id.dtype == np.uint16
+        assert fields.seq.dtype == np.uint32
+        assert np.all(fields.ttl >= 1)
+        assert fields.count == 300
+
+    @given(st.integers(min_value=1, max_value=200))
+    @settings(max_examples=20, deadline=None)
+    def test_craft_length_property(self, n):
+        dip, dpt = targets(n, seed=n)
+        fields = MasscanModel(rng=0).craft(dip, dpt)
+        assert fields.count == n
+        assert np.all(fields.ip_id == masscan_ip_id(dip, dpt, fields.seq))

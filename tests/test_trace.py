@@ -1,0 +1,116 @@
+"""Unit tests for the .rtrace serialisation format."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.telescope import (
+    PacketBatch,
+    SynPacket,
+    TraceFormatError,
+    TraceReader,
+    TraceWriter,
+    iter_trace,
+    read_trace,
+    write_trace,
+)
+
+
+def sample_batch(n=100):
+    gen = np.random.default_rng(0)
+    return PacketBatch(
+        time=np.sort(gen.uniform(0, 1000, n)),
+        src_ip=gen.integers(0, 2**32, n, dtype=np.uint32),
+        dst_ip=gen.integers(0, 2**32, n, dtype=np.uint32),
+        src_port=gen.integers(0, 2**16, n, dtype=np.uint16),
+        dst_port=gen.integers(0, 2**16, n, dtype=np.uint16),
+        ip_id=gen.integers(0, 2**16, n, dtype=np.uint16),
+        seq=gen.integers(0, 2**32, n, dtype=np.uint32),
+        ttl=gen.integers(0, 256, n).astype(np.uint8),
+        window=gen.integers(0, 2**16, n, dtype=np.uint16),
+        flags=np.full(n, 2, dtype=np.uint8),
+    )
+
+
+class TestRoundTrip:
+    def test_roundtrip_content(self, tmp_path):
+        batch = sample_batch()
+        path = tmp_path / "t.rtrace"
+        written = write_trace(path, batch, meta={"year": 2020})
+        assert written == len(batch)
+        loaded, meta = read_trace(path)
+        assert meta == {"year": 2020}
+        assert len(loaded) == len(batch)
+        for name, col in batch.columns().items():
+            assert np.array_equal(loaded.columns()[name], col), name
+
+    def test_roundtrip_empty(self, tmp_path):
+        path = tmp_path / "empty.rtrace"
+        write_trace(path, PacketBatch.empty())
+        loaded, meta = read_trace(path)
+        assert len(loaded) == 0 and meta == {}
+
+    def test_chunked_write(self, tmp_path):
+        batch = sample_batch(250)
+        path = tmp_path / "c.rtrace"
+        write_trace(path, batch, chunk_size=100)
+        chunks = list(iter_trace(path))
+        assert [len(c) for c in chunks] == [100, 100, 50]
+        merged = PacketBatch.concat(chunks)
+        assert np.array_equal(merged.seq, batch.seq)
+
+    def test_bad_chunk_size(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_trace(tmp_path / "x.rtrace", sample_batch(), chunk_size=0)
+
+    def test_streaming_writer(self, tmp_path):
+        path = tmp_path / "s.rtrace"
+        with TraceWriter(path, meta={"k": 1}) as w:
+            w.write(sample_batch(10))
+            w.write(PacketBatch.empty())  # skipped, not an error
+            w.write(sample_batch(5))
+            assert w.packets_written == 15
+        loaded, _ = read_trace(path)
+        assert len(loaded) == 15
+
+    def test_writer_requires_context(self, tmp_path):
+        w = TraceWriter(tmp_path / "x.rtrace")
+        with pytest.raises(RuntimeError):
+            w.write(sample_batch(1))
+
+
+class TestFormatErrors:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.rtrace"
+        path.write_bytes(b"NOTTRACE" + b"\x00" * 10)
+        with pytest.raises(TraceFormatError):
+            with TraceReader(path) as r:
+                list(r)
+
+    def test_truncated_meta(self, tmp_path):
+        path = tmp_path / "trunc.rtrace"
+        path.write_bytes(b"RTRACE01" + struct.pack("<I", 100) + b"{}")
+        with pytest.raises(TraceFormatError):
+            with TraceReader(path) as r:
+                list(r)
+
+    def test_truncated_chunk(self, tmp_path):
+        good = tmp_path / "good.rtrace"
+        write_trace(good, sample_batch(50))
+        data = good.read_bytes()
+        bad = tmp_path / "bad.rtrace"
+        bad.write_bytes(data[: len(data) // 2])
+        with pytest.raises(TraceFormatError):
+            with TraceReader(bad) as r:
+                list(r)
+
+    def test_missing_terminator_tolerated(self, tmp_path):
+        # A file ending exactly at a chunk boundary (no 0 sentinel) still reads.
+        good = tmp_path / "good.rtrace"
+        write_trace(good, sample_batch(10))
+        data = good.read_bytes()
+        trimmed = tmp_path / "trimmed.rtrace"
+        trimmed.write_bytes(data[:-4])
+        loaded, _ = read_trace(trimmed)
+        assert len(loaded) == 10

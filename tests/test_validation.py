@@ -1,0 +1,87 @@
+"""Tests for the reproduction scorecard."""
+
+import numpy as np
+import pytest
+
+from repro.core import analyze_simulation
+from repro.reporting import ClaimCheck, render_scorecard, validate_reproduction
+from repro.simulation import TelescopeWorld
+
+
+@pytest.fixture(scope="module")
+def mini_study(telescope, registry):
+    """Three study years at small scale for scorecard tests."""
+    dedicated = TelescopeWorld(telescope=telescope, registry=registry, rng=3)
+    sims, analyses = {}, {}
+    for year in (2015, 2020, 2024):
+        sims[year] = dedicated.simulate_year(year, days=8,
+                                             max_packets=70_000,
+                                             min_scans=300)
+        analyses[year] = analyze_simulation(sims[year])
+    return sims, analyses
+
+
+class TestValidate:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            validate_reproduction({})
+
+    def test_most_claims_pass_on_calibrated_sim(self, mini_study):
+        sims, analyses = mini_study
+        checks = validate_reproduction(analyses, sims)
+        assert len(checks) >= 10
+        passed = sum(c.passed for c in checks)
+        assert passed >= len(checks) - 2
+
+    def test_growth_checks_need_sims(self, mini_study):
+        _, analyses = mini_study
+        checks = validate_reproduction(analyses, sims=None)
+        ids = {c.claim_id for c in checks}
+        assert "growth-packets" not in ids
+        assert "syn-share" not in ids
+        assert "weekly-volatility" in ids
+
+    def test_checks_have_required_fields(self, mini_study):
+        sims, analyses = mini_study
+        for check in validate_reproduction(analyses, sims):
+            assert check.claim_id
+            assert check.section.startswith(("§", "Table", "Fig"))
+            assert check.expected and check.measured
+            assert isinstance(check.passed, bool)
+
+    def test_single_year_subset_still_works(self, mini_study):
+        sims, analyses = mini_study
+        checks = validate_reproduction({2020: analyses[2020]},
+                                       {2020: sims[2020]})
+        assert checks
+        ids = {c.claim_id for c in checks}
+        assert "growth-packets" not in ids  # needs early+late years
+
+
+class TestRenderScorecard:
+    def test_renders_pass_fail(self):
+        checks = [
+            ClaimCheck("a", "§1", "desc", "x", "y", True),
+            ClaimCheck("b", "§2", "desc", "x", "y", False),
+        ]
+        text = render_scorecard(checks)
+        assert "PASS" in text and "FAIL" in text
+        assert "1/2 claims reproduced" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_scorecard([])
+
+
+class TestCliValidate:
+    def test_cli_scorecard(self, capsys):
+        from repro.cli import main
+        code = main(["validate", "--days", "6", "--max-packets", "50000",
+                     "--years", "2015,2020,2024", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert "claims reproduced" in out
+        assert code in (0, 1)
+
+    def test_cli_bad_years(self, capsys):
+        from repro.cli import main
+        assert main(["validate", "--years", "1999"]) == 2

@@ -1,0 +1,126 @@
+"""Tests for multi-vantage observation (§7)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CampaignCriteria, analyze_period, identify_scans
+from repro.enrichment import ScannerClassifier
+from repro.simulation.vantage import (
+    observe_campaigns,
+    rescale_campaign,
+    second_vantage,
+)
+from repro.telescope import CidrBlock, Telescope
+
+
+@pytest.fixture(scope="module")
+def other_telescope():
+    """A differently *located* vantage of comparable size: one sparse /15
+    monitoring ~71.5k addresses, like the paper's telescope."""
+    return Telescope.from_blocks(
+        [CidrBlock.parse("198.18.0.0/15")], population=0.5458, rng=21
+    )
+
+
+@pytest.fixture(scope="module")
+def small_telescope():
+    """A much smaller vantage (~16k addresses) for the size-bias test."""
+    return Telescope.from_blocks(
+        [CidrBlock.parse("198.51.0.0/16")], population=0.25, rng=22
+    )
+
+
+class TestRescale:
+    def test_scaling_factor(self, sim2020, rng):
+        spec = sim2020.campaigns[0]
+        scaled = rescale_campaign(spec, 70_000, 35_000, rng)
+        assert abs(scaled.telescope_hits - spec.telescope_hits / 2) <= 1
+
+    def test_identity(self, sim2020, rng):
+        spec = sim2020.campaigns[0]
+        scaled = rescale_campaign(spec, 70_000, 70_000, rng)
+        assert scaled.telescope_hits == spec.telescope_hits
+
+    def test_validation(self, sim2020, rng):
+        with pytest.raises(ValueError):
+            rescale_campaign(sim2020.campaigns[0], 0, 100, rng)
+
+
+class TestSecondVantage:
+    def test_destinations_in_new_telescope(self, sim2020, other_telescope):
+        batch = second_vantage(sim2020, other_telescope, rng=9)
+        assert len(batch) > 1000
+        assert np.all(other_telescope.monitored.contains_array(batch.dst_ip))
+
+    def test_sources_shared_with_primary(self, sim2020, other_telescope):
+        """Both vantages watch the same actors."""
+        batch = second_vantage(sim2020, other_telescope, rng=9)
+        primary_sources = {ip for c in sim2020.campaigns for ip in c.src_ips}
+        seen = set(np.unique(batch.src_ip).tolist())
+        assert seen <= primary_sources
+        assert len(seen) > 0.5 * len(primary_sources)
+
+    def test_volume_scales_with_size(self, sim2020, other_telescope):
+        batch = second_vantage(sim2020, other_telescope, rng=9)
+        campaign_pkts_primary = sum(c.telescope_hits for c in sim2020.campaigns)
+        ratio = other_telescope.size / sim2020.telescope.size
+        assert len(batch) == pytest.approx(campaign_pkts_primary * ratio,
+                                           rel=0.25)
+
+    def test_estimators_agree_across_vantages(self, sim2020, other_telescope):
+        """The §3.4 estimator family must be vantage-invariant: the same
+        campaigns, watched from a different telescope, yield compatible
+        speed and coverage estimates."""
+        batch = second_vantage(sim2020, other_telescope, rng=9)
+        criteria = CampaignCriteria(
+            telescope_size=other_telescope.size,
+            telescope_extent=int(other_telescope.monitored.addresses[-1])
+            - int(other_telescope.monitored.addresses[0]) + 1,
+        )
+        secondary = identify_scans(batch, criteria=criteria)
+        primary = identify_scans(sim2020.batch)
+
+        # Match scans by source and compare speed estimates.
+        secondary_by_src = {}
+        for i in range(len(secondary)):
+            secondary_by_src.setdefault(int(secondary.src_ip[i]), []).append(
+                float(secondary.speed_pps[i])
+            )
+        ratios = []
+        for i in range(len(primary)):
+            src = int(primary.src_ip[i])
+            if src in secondary_by_src and not primary.sequential[i]:
+                ratios.append(
+                    np.median(secondary_by_src[src]) / primary.speed_pps[i]
+                )
+        assert len(ratios) > 30
+        assert 0.7 < float(np.median(ratios)) < 1.4
+
+    def test_tool_shares_agree(self, sim2020, other_telescope):
+        """A same-size vantage elsewhere recovers the same tool mix."""
+        batch = second_vantage(sim2020, other_telescope, rng=9)
+        criteria = CampaignCriteria(telescope_size=other_telescope.size)
+        secondary = identify_scans(batch, criteria=criteria)
+        primary = identify_scans(sim2020.batch)
+        a = primary.tool_shares_by_scans()
+        b = secondary.tool_shares_by_scans()
+        for tool, share in a.items():
+            if share > 0.1:
+                assert abs(b.get(tool, 0) - share) < 0.15, tool
+
+
+class TestVantageSizeBias:
+    def test_small_vantage_misses_small_campaigns(self, sim2020,
+                                                  small_telescope):
+        """§3.4's caveat, demonstrated: a smaller telescope under the same
+        criteria loses the small campaigns, shifting the observed
+        composition toward large scans."""
+        batch = second_vantage(sim2020, small_telescope, rng=9)
+        criteria = CampaignCriteria(telescope_size=small_telescope.size)
+        small_view = identify_scans(batch, criteria=criteria)
+        full_view = identify_scans(sim2020.batch)
+        assert len(small_view) < 0.7 * len(full_view)
+        # The scans that survive are the bigger ones.
+        scale = small_telescope.size / sim2020.telescope.size
+        assert (np.median(small_view.packets) / scale
+                > np.median(full_view.packets))

@@ -1,0 +1,143 @@
+"""Tests for the TelescopeWorld generator: budgets, shares, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.enrichment.types import ScannerType
+from repro.scanners import Tool
+from repro.simulation import TelescopeWorld, year_config
+from repro.simulation.world import SimulationResult
+
+
+class TestSimulationResult:
+    def test_volume_calibration(self, sim2020):
+        """Projected packets/day must land near Table 1's 283 M."""
+        projected = sim2020.packets_per_day_unscaled()
+        assert 0.6 * 283e6 < projected < 1.6 * 283e6
+
+    def test_scan_calibration(self, sim2020):
+        """Projected scans/month must land near Table 1's 222 K."""
+        projected = sim2020.scans_per_month_unscaled()
+        assert 0.6 * 222e3 < projected < 1.6 * 222e3
+
+    def test_packet_budget_respected(self, sim2020):
+        assert len(sim2020.batch) < 120_000 * 1.7
+
+    def test_min_scans_respected(self, sim2020):
+        observed = sum(s.shards for s in sim2020.campaigns)
+        assert observed >= 300 * 0.9
+
+    def test_batch_sorted(self, sim2020):
+        assert np.all(np.diff(sim2020.batch.time) >= 0)
+
+    def test_all_syn(self, sim2020):
+        assert np.all(sim2020.batch.flags == 2)
+
+    def test_all_destinations_monitored(self, sim2020, telescope):
+        assert np.all(telescope.monitored.contains_array(sim2020.batch.dst_ip))
+
+    def test_coverage_cap_recorded(self, sim2020):
+        assert 0 < sim2020.coverage_cap <= 1.0
+
+    def test_background_sources_plentiful(self, sim2020):
+        assert sim2020.background_sources > 1000
+
+
+class TestGroundTruth:
+    def test_campaigns_have_unique_ids(self, sim2020):
+        ids = [c.campaign_id for c in sim2020.campaigns]
+        assert len(set(ids)) == len(ids)
+
+    def test_tool_mix_matches_config(self, sim2020):
+        """Observed-scan tool shares must track Table 1's 2020 row."""
+        from collections import Counter
+        counts = Counter()
+        for spec in sim2020.campaigns:
+            counts[spec.tool] += spec.shards
+        total = sum(counts.values())
+        shares = {t: c / total for t, c in counts.items()}
+        assert abs(shares.get(Tool.MASSCAN, 0) - 0.205) < 0.08
+        assert abs(shares.get(Tool.MIRAI, 0) - 0.149) < 0.08
+        assert shares.get(Tool.UNKNOWN, 0) > 0.3
+
+    def test_mirai_campaigns_residential(self, sim2020):
+        for spec in sim2020.campaigns:
+            if spec.tool == Tool.MIRAI:
+                assert spec.scanner_type == ScannerType.RESIDENTIAL
+
+    def test_institutional_have_orgs(self, sim2020):
+        inst = [c for c in sim2020.campaigns
+                if c.scanner_type == ScannerType.INSTITUTIONAL]
+        assert inst
+        assert all(c.organisation for c in inst)
+        assert all(c.tool == Tool.ZMAP for c in inst)
+
+    def test_institutional_fast(self, sim2020):
+        inst_rates = [c.rate_pps for c in sim2020.campaigns
+                      if c.scanner_type == ScannerType.INSTITUTIONAL]
+        other_rates = [c.rate_pps for c in sim2020.campaigns
+                       if c.scanner_type != ScannerType.INSTITUTIONAL]
+        assert np.mean(inst_rates) > 10 * np.median(other_rates)
+
+    def test_event_ports_have_campaigns(self, sim2020):
+        cfg = sim2020.config
+        assert cfg.events
+        for event in cfg.events:
+            hits = [c for c in sim2020.campaigns if c.ports == (event.port,)]
+            assert hits, event.name
+
+    def test_sharded_campaigns_exist(self, sim2020):
+        assert any(c.shards > 1 for c in sim2020.campaigns)
+
+    def test_shard_sources_clustered(self, sim2020):
+        for spec in sim2020.campaigns:
+            if spec.shards > 1:
+                ips = np.array(spec.src_ips, dtype=np.int64)
+                assert ips.max() - ips.min() < 65536  # one subnet-ish
+
+    def test_campaign_starts_within_period(self, sim2020):
+        period = sim2020.config.days * 86400.0
+        for spec in sim2020.campaigns:
+            assert 0 <= spec.start < period
+
+
+class TestDeterminism:
+    def test_same_seed_same_world(self, telescope, registry):
+        a = TelescopeWorld(telescope=telescope, registry=registry, rng=99)
+        b = TelescopeWorld(telescope=telescope, registry=registry, rng=99)
+        ra = a.simulate_year(2016, days=5, max_packets=30_000, min_scans=60)
+        rb = b.simulate_year(2016, days=5, max_packets=30_000, min_scans=60)
+        assert len(ra.batch) == len(rb.batch)
+        assert np.array_equal(ra.batch.seq, rb.batch.seq)
+        assert np.array_equal(ra.batch.src_ip, rb.batch.src_ip)
+
+    def test_different_seeds_differ(self, telescope, registry):
+        a = TelescopeWorld(telescope=telescope, registry=registry, rng=1)
+        b = TelescopeWorld(telescope=telescope, registry=registry, rng=2)
+        ra = a.simulate_year(2016, days=5, max_packets=30_000, min_scans=60)
+        rb = b.simulate_year(2016, days=5, max_packets=30_000, min_scans=60)
+        assert not np.array_equal(ra.batch.src_ip[:100], rb.batch.src_ip[:100])
+
+
+class TestYearSpecifics:
+    def test_ingress_blocks_23_445_post_2017(self, world):
+        res = world.simulate_year(2018, days=5, max_packets=40_000, min_scans=80)
+        ports = set(np.unique(res.batch.dst_port).tolist())
+        assert 23 not in ports
+        assert 445 not in ports
+
+    def test_2015_has_23_traffic(self, world):
+        res = world.simulate_year(2015, days=5, max_packets=40_000, min_scans=80)
+        ports = set(np.unique(res.batch.dst_port).tolist())
+        assert 23 in ports  # pre-Mirai years keep telnet visible
+
+    def test_no_mirai_fingerprint_2015(self, world):
+        res = world.simulate_year(2015, days=5, max_packets=40_000, min_scans=80)
+        mirai_frac = np.mean(res.batch.seq == res.batch.dst_ip)
+        assert mirai_frac < 0.02
+
+    def test_config_override(self, world):
+        cfg = year_config(2019, days=4)
+        res = world.simulate_year(0, config=cfg, max_packets=30_000, min_scans=50)
+        assert res.year == 2019
+        assert res.days == 4

@@ -1,0 +1,117 @@
+"""Targeted tests for TelescopeWorld internals: weekly prefix weighting,
+recurrence pools, institutional port priority, and budget bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.enrichment.types import ScannerType
+from repro.simulation import TelescopeWorld, year_config
+from repro.simulation.world import _COMMON_PORTS_FIRST
+
+
+@pytest.fixture()
+def fresh_world(telescope, registry):
+    return TelescopeWorld(telescope=telescope, registry=registry, rng=13)
+
+
+class TestWeeklyWeights:
+    def test_deterministic_per_year_week(self, fresh_world, telescope, registry):
+        a = fresh_world._weekly_weights(2020, 2)
+        other = TelescopeWorld(telescope=telescope, registry=registry, rng=99)
+        b = other._weekly_weights(2020, 2)
+        assert np.array_equal(a, b)
+
+    def test_varies_across_weeks(self, fresh_world):
+        a = fresh_world._weekly_weights(2020, 0)
+        b = fresh_world._weekly_weights(2020, 1)
+        assert not np.array_equal(a, b)
+
+    def test_varies_across_years(self, fresh_world):
+        a = fresh_world._weekly_weights(2019, 0)
+        b = fresh_world._weekly_weights(2020, 0)
+        assert not np.array_equal(a, b)
+
+    def test_substantial_swings(self, fresh_world):
+        """The weights must produce the factor-2+ weekly changes Fig 2
+        rests on."""
+        a = fresh_world._weekly_weights(2020, 0)
+        b = fresh_world._weekly_weights(2020, 1)
+        ratio = a / b
+        assert np.mean((ratio > 2) | (ratio < 0.5)) > 0.3
+
+    def test_cached(self, fresh_world):
+        a = fresh_world._weekly_weights(2020, 3)
+        b = fresh_world._weekly_weights(2020, 3)
+        assert a is b
+
+
+class TestPortPriority:
+    def test_common_ports_come_first(self):
+        priority = TelescopeWorld._port_priority(30)
+        assert tuple(priority[:len(_COMMON_PORTS_FIRST)]) == _COMMON_PORTS_FIRST
+
+    def test_covers_requested_count(self):
+        priority = TelescopeWorld._port_priority(50_000)
+        assert priority.size == 50_000
+        assert np.unique(priority).size == 50_000
+
+    def test_full_range(self):
+        priority = TelescopeWorld._port_priority(65_535)
+        assert np.unique(priority).size == 65_535
+
+
+class TestPrefixCache:
+    def test_fallback_when_country_missing(self, fresh_world):
+        from repro.enrichment.types import AllocationType
+        # "XX" has no prefixes: falls back to the type-wide pool.
+        indices = fresh_world._prefixes("XX", AllocationType.HOSTING)
+        assert indices
+        records = [fresh_world.registry.records[i] for i in indices]
+        assert all(r.alloc_type == AllocationType.HOSTING for r in records)
+
+    def test_cache_hit(self, fresh_world):
+        from repro.enrichment.types import AllocationType
+        a = fresh_world._prefixes("NL", AllocationType.HOSTING)
+        b = fresh_world._prefixes("NL", AllocationType.HOSTING)
+        assert a is b
+
+
+class TestBudgets:
+    def test_packet_budget_split(self, fresh_world):
+        """Background + institutional + cohorts + backscatter add up."""
+        sim = fresh_world.simulate_year(2020, days=6, max_packets=60_000,
+                                        min_scans=200)
+        total = len(sim.batch)
+        campaign_packets = 0
+        campaign_sources = {ip for c in sim.campaigns for ip in c.src_ips}
+        mask = np.isin(sim.batch.src_ip,
+                       np.array(sorted(campaign_sources), dtype=np.uint32))
+        campaign_packets = int(mask.sum())
+        background_packets = total - campaign_packets
+        # Background is calibrated to ~10% of traffic.
+        assert 0.04 < background_packets / total < 0.25
+
+    def test_recurrence_pool_produces_repeat_sources(self, fresh_world):
+        sim = fresh_world.simulate_year(2020, days=6, max_packets=60_000,
+                                        min_scans=300)
+        from collections import Counter
+        counts = Counter()
+        for c in sim.campaigns:
+            if not c.organisation:
+                for ip in c.src_ips:
+                    counts[ip] += 1
+        repeats = sum(1 for v in counts.values() if v >= 2)
+        assert repeats > 3  # hosting recurrence probability is 15%
+
+    def test_event_campaigns_concentrate_after_disclosure(self, fresh_world):
+        cfg = year_config(2020, days=14)
+        sim = fresh_world.simulate_year(0, config=cfg, max_packets=80_000,
+                                        min_scans=300)
+        event = cfg.events[0]
+        event_scans = [c for c in sim.campaigns if c.ports == (event.port,)]
+        assert event_scans
+        starts = np.array([c.start for c in event_scans]) / 86_400.0
+        after = starts[starts >= event.day_offset - 0.01]
+        # The surge sits after the disclosure and decays within days.
+        assert after.size > 0.6 * starts.size
+        assert np.median(after) < event.day_offset + 4 * event.decay_days
