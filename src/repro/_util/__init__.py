@@ -7,10 +7,13 @@ import from :mod:`repro` or its documented subpackages instead.
 from repro._util.rng import RandomState, as_generator, derive_rng, spawn_rngs
 from repro._util.validate import (
     check_fraction,
+    check_header_field,
+    check_ip,
     check_non_negative,
     check_port,
     check_positive,
     check_range,
+    check_ttl,
 )
 from repro._util.stats import (
     empirical_cdf,
@@ -32,10 +35,13 @@ __all__ = [
     "derive_rng",
     "spawn_rngs",
     "check_fraction",
+    "check_header_field",
+    "check_ip",
     "check_non_negative",
     "check_port",
     "check_positive",
     "check_range",
+    "check_ttl",
     "empirical_cdf",
     "fraction_at_most",
     "pearson_r",

@@ -8,7 +8,8 @@ stochastic consumer never perturbs the draws of existing ones.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Union
+import hashlib
+from typing import List, Union
 
 import numpy as np
 
@@ -38,21 +39,58 @@ def derive_rng(state: RandomState, *tokens: object) -> np.random.Generator:
     """Derive an independent generator keyed by ``tokens``.
 
     The derivation is stable: the same ``state`` and tokens always produce the
-    same stream, regardless of how many other streams were derived in between.
-    Tokens are hashed structurally (via ``repr``) so strings, ints and tuples
-    all work.
+    same stream, regardless of how many other streams were derived in between
+    and without consuming draws from ``state`` (except for the documented
+    fallback below).  Tokens are hashed structurally (via ``repr``) so
+    strings, ints and tuples all work.
+
+    The child seed is built from the *entropy words* of ``state`` (seed
+    integers, including ``SeedSequence`` list entropy and spawn keys) plus a
+    128-bit digest of the tokens.  Only a generator whose bit generator does
+    not expose its seed sequence falls back to consuming one draw for
+    entropy.
     """
-    base = as_generator(state)
-    # Pull entropy from the base stream deterministically by hashing tokens
-    # together with a fixed draw; this avoids consuming base draws per call.
-    key = np.uint64(0x9E3779B97F4A7C15)
-    for token in tokens:
-        for byte in repr(token).encode("utf-8"):
-            key = np.uint64((int(key) ^ byte) * 0x100000001B3 % (1 << 64))
-    seed_seq = np.random.SeedSequence([int(base.bit_generator.seed_seq.entropy or 0)
-                                       if hasattr(base.bit_generator, "seed_seq") else 0,
-                                       int(key) & 0xFFFFFFFF, int(key) >> 32])
+    seed_seq = np.random.SeedSequence(_entropy_words(state) + _token_words(tokens))
     return np.random.default_rng(seed_seq)
+
+
+def _token_words(tokens: tuple) -> List[int]:
+    """Mix tokens into two stable 64-bit words (keyed, order-sensitive)."""
+    digest = hashlib.blake2b(digest_size=16, person=b"repro.rng")
+    for token in tokens:
+        digest.update(repr(token).encode("utf-8"))
+        digest.update(b"\x1f")  # separator: ("ab",) != ("a", "b")
+    raw = digest.digest()
+    return [
+        int.from_bytes(raw[:8], "little"),
+        int.from_bytes(raw[8:], "little"),
+    ]
+
+
+def _entropy_words(state: RandomState) -> List[int]:
+    """Seed integers identifying ``state`` without consuming draws."""
+    if state is None:
+        return [_DEFAULT_SEED, 1]
+    if isinstance(state, (int, np.integer)):
+        # Same shape as the Generator branch (one word + length, no spawn
+        # key) so derive_rng(7, ...) == derive_rng(default_rng(7), ...).
+        return [int(state), 1]
+    if isinstance(state, np.random.Generator):
+        seq = getattr(state.bit_generator, "seed_seq", None)
+        if isinstance(seq, np.random.SeedSequence):
+            entropy = seq.entropy
+            if entropy is None:
+                words: List[int] = []
+            elif isinstance(entropy, (int, np.integer)):
+                words = [int(entropy)]
+            else:  # list-seeded: SeedSequence([a, b, ...])
+                words = [int(word) for word in entropy]
+            # spawn_key distinguishes SeedSequence.spawn() children; the
+            # length word keeps [5] and [5, 0] (child 0 of 5) distinct.
+            return words + [len(words)] + [int(k) for k in seq.spawn_key]
+        # Opaque bit generator: consume one draw (documented fallback).
+        return [int(state.integers(0, 2 ** 63))]
+    raise TypeError(f"cannot extract entropy from {type(state).__name__}")
 
 
 def spawn_rngs(state: RandomState, count: int) -> List[np.random.Generator]:

@@ -49,13 +49,36 @@ def check_range(
     return value
 
 
+def check_header_field(name: str, value: int, bits: int) -> int:
+    """Require an integer fitting an unsigned ``bits``-wide wire field.
+
+    The single bound check behind :func:`check_port` / :func:`check_ttl` /
+    :func:`check_ip` and :class:`repro.telescope.packet.SynPacket`; the
+    static rule RPR003 checks the same widths at lint time.
+    """
+    if isinstance(bits, bool) or not isinstance(bits, numbers.Integral) or bits <= 0:
+        raise ValueError(f"bits must be a positive integer, got {bits!r}")
+    if isinstance(value, bool) or not isinstance(value, numbers.Integral):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    bound = 1 << int(bits)
+    if not 0 <= int(value) < bound:
+        raise ValueError(f"{name} must be within [0, {bound - 1}], got {value!r}")
+    return int(value)
+
+
 def check_port(name: str, value: int) -> int:
     """Require a valid TCP port number (0–65535)."""
-    if not isinstance(value, numbers.Integral):
-        raise TypeError(f"{name} must be an integer port, got {type(value).__name__}")
-    if not 0 <= int(value) <= 0xFFFF:
-        raise ValueError(f"{name} must be within [0, 65535], got {value!r}")
-    return int(value)
+    return check_header_field(name, value, 16)
+
+
+def check_ttl(name: str, value: int) -> int:
+    """Require a valid IPv4 TTL (0–255)."""
+    return check_header_field(name, value, 8)
+
+
+def check_ip(name: str, value: int) -> int:
+    """Require an IPv4 address as an unsigned 32-bit integer."""
+    return check_header_field(name, value, 32)
 
 
 def _check_number(name: str, value: object) -> None:

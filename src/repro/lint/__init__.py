@@ -1,0 +1,52 @@
+"""repro.lint — AST-based domain-invariant linter for this codebase.
+
+The rules encode the invariants the reproduction's calibration rests on
+(see docs/architecture.md, "Static analysis & invariants"):
+
+========  ====================  ===============================================
+Code      Name                  Invariant
+========  ====================  ===============================================
+RPR001    determinism           no ambient randomness / wall-clock reads
+RPR002    rng-plumbing          generators derive from repro._util.rng
+RPR003    header-field-safety   literals fit packet-header wire widths
+RPR004    batch-immutability    no in-place PacketBatch column mutation
+RPR005    float-equality        no ==/!= on floats in core/ analysis code
+========  ====================  ===============================================
+
+Run ``python -m repro.lint`` (or the ``repro-lint`` console script);
+configure via ``[tool.repro-lint]`` in pyproject.toml; silence single lines
+with ``# repro-lint: disable=RPR00x``; grandfather findings in
+``lint-baseline.json``.
+"""
+
+from repro.lint.baseline import Baseline
+from repro.lint.config import LintConfig, find_pyproject, load_config
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.engine import (
+    REGISTRY,
+    FileContext,
+    Rule,
+    RuleRegistry,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+
+# Importing the rules package registers the rule set.
+import repro.lint.rules  # noqa: E402,F401
+
+__all__ = [
+    "Baseline",
+    "Diagnostic",
+    "FileContext",
+    "LintConfig",
+    "REGISTRY",
+    "Rule",
+    "RuleRegistry",
+    "Severity",
+    "find_pyproject",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "load_config",
+]

@@ -1,0 +1,70 @@
+"""Baseline file handling — grandfathered findings.
+
+The baseline is a committed JSON document listing findings that predate the
+linter (or are accepted for a documented reason).  A finding matches a
+baseline entry on ``(path, code, line)``; matched findings are reported as
+"baselined" and do not affect the exit status.  Regenerate with
+``python -m repro.lint --write-baseline`` after intentional churn.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Set, Tuple
+
+from repro.lint.diagnostics import Diagnostic
+
+_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Set of grandfathered finding keys."""
+
+    entries: Set[Tuple[str, str, int]] = field(default_factory=set)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not path.is_file():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if data.get("version") != _VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} in {path}"
+            )
+        entries = set()
+        for item in data.get("entries", []):
+            entries.add((str(item["path"]), str(item["code"]), int(item["line"])))
+        return cls(entries=entries)
+
+    @classmethod
+    def from_diagnostics(cls, diags: Iterable[Diagnostic]) -> "Baseline":
+        return cls(entries={d.baseline_key() for d in diags})
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": _VERSION,
+            "comment": (
+                "Grandfathered repro-lint findings. Regenerate with "
+                "`python -m repro.lint --write-baseline` only after reviewing "
+                "that every entry is an accepted, documented exception."
+            ),
+            "entries": [
+                {"path": p, "code": c, "line": n}
+                for (p, c, n) in sorted(self.entries)
+            ],
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    def partition(
+        self, diags: Iterable[Diagnostic]
+    ) -> Tuple[List[Diagnostic], List[Diagnostic]]:
+        """Split into (new, baselined) lists, preserving order."""
+        new: List[Diagnostic] = []
+        known: List[Diagnostic] = []
+        for diag in diags:
+            (known if diag.baseline_key() in self.entries else new).append(diag)
+        return new, known

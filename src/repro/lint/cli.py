@@ -1,0 +1,151 @@
+"""Command-line front end: ``python -m repro.lint`` / ``repro-lint``.
+
+Exit status: 0 — clean (no unbaselined error-severity findings);
+1 — findings; 2 — usage/configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.lint.baseline import Baseline
+from repro.lint.config import LintConfig, find_pyproject, load_config
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.engine import REGISTRY, collect_files, lint_file
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Domain-invariant static analysis for the repro codebase.",
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: [tool.repro-lint] paths)",
+    )
+    parser.add_argument(
+        "--config", type=Path, default=None,
+        help="pyproject.toml to read [tool.repro-lint] from "
+             "(default: nearest pyproject above the first path)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help="baseline file (default: from config, lint-baseline.json)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline; report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write all current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--statistics", action="store_true",
+        help="print a per-rule findings summary",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in REGISTRY.rules():
+            print(f"{rule.code}  {rule.name:22s} {rule.description}")
+        return EXIT_CLEAN
+
+    try:
+        config = _resolve_config(args)
+        targets = _resolve_targets(args, config)
+        files = collect_files(targets, config)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    diagnostics: List[Diagnostic] = []
+    for file_path in files:
+        try:
+            diagnostics.extend(lint_file(file_path, config=config))
+        except SyntaxError as exc:
+            print(f"repro-lint: error: cannot parse {file_path}: {exc}",
+                  file=sys.stderr)
+            return EXIT_USAGE
+    diagnostics.sort(key=Diagnostic.sort_key)
+
+    baseline_path = args.baseline or config.baseline_path()
+    if args.write_baseline:
+        Baseline.from_diagnostics(diagnostics).save(baseline_path)
+        print(f"wrote {len(diagnostics)} finding(s) to {baseline_path}")
+        return EXIT_CLEAN
+
+    baseline = Baseline() if args.no_baseline else Baseline.load(baseline_path)
+    new, known = baseline.partition(diagnostics)
+
+    if args.format == "json":
+        print(json.dumps(
+            {
+                "findings": [d.__dict__ | {"severity": d.severity.value} for d in new],
+                "baselined": len(known),
+                "files": len(files),
+            },
+            indent=2, default=str,
+        ))
+    else:
+        for diag in new:
+            print(diag.render())
+        if args.statistics:
+            _print_statistics(new)
+        summary = (
+            f"{len(new)} finding(s) ({len(known)} baselined) "
+            f"across {len(files)} file(s)"
+        )
+        print(summary if new or known else f"clean: {summary}")
+
+    errors = [d for d in new if d.severity is Severity.ERROR]
+    return EXIT_FINDINGS if errors else EXIT_CLEAN
+
+
+def _resolve_config(args: argparse.Namespace) -> LintConfig:
+    if args.config is not None:
+        if not args.config.is_file():
+            raise FileNotFoundError(f"config file not found: {args.config}")
+        return load_config(args.config)
+    anchor = Path(args.paths[0]) if args.paths else Path.cwd()
+    return load_config(find_pyproject(anchor))
+
+
+def _resolve_targets(args: argparse.Namespace, config: LintConfig) -> List[Path]:
+    if args.paths:
+        return [Path(p) for p in args.paths]
+    return [config.root / p for p in config.paths]
+
+
+def _print_statistics(diags: Sequence[Diagnostic]) -> None:
+    counts: dict = {}
+    for diag in diags:
+        counts[diag.code] = counts.get(diag.code, 0) + 1
+    for code in sorted(counts):
+        rule = REGISTRY.get(code)
+        print(f"  {code} ({rule.name}): {counts[code]}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,194 @@
+"""Configuration for the linter, read from ``[tool.repro-lint]``.
+
+Python 3.11+ parses the pyproject with :mod:`tomllib`; on 3.9/3.10 (which the
+CI matrix still covers and where no TOML parser is guaranteed to be
+installed) a deliberately minimal fallback parser handles the subset of TOML
+this table actually uses: string scalars and (possibly multi-line) arrays of
+strings.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+try:  # Python >= 3.11
+    import tomllib as _toml
+except ImportError:  # pragma: no cover - exercised only on 3.9/3.10
+    _toml = None
+
+SECTION = "repro-lint"
+
+#: Paths (suffix-matched against the posix relative path) where the
+#: determinism and plumbing rules do not apply — the RNG plumbing itself.
+DEFAULT_RNG_EXEMPT = ("_util/rng.py",)
+
+#: Paths where ``self._cols`` may legitimately be bound — the PacketBatch
+#: definition site.
+DEFAULT_IMMUTABILITY_EXEMPT = ("telescope/packet.py",)
+
+#: Substrings of the relative path where the float-equality rule applies
+#: (the paper's analysis code, per the invariant in docs/architecture.md).
+DEFAULT_FLOAT_EQ_PATHS = ("core/",)
+
+
+@dataclass
+class LintConfig:
+    """Resolved linter settings."""
+
+    root: Path = field(default_factory=Path.cwd)
+    paths: List[str] = field(default_factory=lambda: ["src/repro"])
+    exclude: List[str] = field(default_factory=list)
+    baseline: str = "lint-baseline.json"
+    disable: List[str] = field(default_factory=list)
+    warn: List[str] = field(default_factory=list)
+    rng_exempt: List[str] = field(default_factory=lambda: list(DEFAULT_RNG_EXEMPT))
+    immutability_exempt: List[str] = field(
+        default_factory=lambda: list(DEFAULT_IMMUTABILITY_EXEMPT)
+    )
+    float_eq_paths: List[str] = field(
+        default_factory=lambda: list(DEFAULT_FLOAT_EQ_PATHS)
+    )
+
+    def baseline_path(self) -> Path:
+        return self.root / self.baseline
+
+    def is_excluded(self, rel_path: str) -> bool:
+        from fnmatch import fnmatch
+
+        return any(fnmatch(rel_path, pat) for pat in self.exclude)
+
+
+_KEY_MAP = {
+    "paths": "paths",
+    "exclude": "exclude",
+    "baseline": "baseline",
+    "disable": "disable",
+    "warn": "warn",
+    "rng-exempt": "rng_exempt",
+    "immutability-exempt": "immutability_exempt",
+    "float-eq-paths": "float_eq_paths",
+}
+
+
+def load_config(pyproject: Optional[Path]) -> LintConfig:
+    """Build a :class:`LintConfig` from a pyproject file (or defaults)."""
+    if pyproject is None or not pyproject.is_file():
+        return LintConfig()
+    table = _read_tool_table(pyproject)
+    cfg = LintConfig(root=pyproject.parent.resolve())
+    for raw_key, value in table.items():
+        attr = _KEY_MAP.get(raw_key, _KEY_MAP.get(raw_key.replace("_", "-")))
+        if attr is None:
+            raise ValueError(f"[tool.{SECTION}]: unknown key {raw_key!r}")
+        current = getattr(cfg, attr)
+        if isinstance(current, list):
+            if not isinstance(value, list) or not all(
+                isinstance(v, str) for v in value
+            ):
+                raise ValueError(f"[tool.{SECTION}].{raw_key} must be a string array")
+            setattr(cfg, attr, list(value))
+        else:
+            if not isinstance(value, str):
+                raise ValueError(f"[tool.{SECTION}].{raw_key} must be a string")
+            setattr(cfg, attr, value)
+    return cfg
+
+
+def find_pyproject(start: Path) -> Optional[Path]:
+    """Walk upward from ``start`` looking for a pyproject.toml."""
+    node = start.resolve()
+    if node.is_file():
+        node = node.parent
+    for candidate in [node, *node.parents]:
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.is_file():
+            return pyproject
+    return None
+
+
+def _read_tool_table(pyproject: Path) -> Dict[str, object]:
+    text = pyproject.read_text(encoding="utf-8")
+    if _toml is not None:
+        data = _toml.loads(text)
+        tool = data.get("tool", {})
+        table = tool.get(SECTION, {})
+        if not isinstance(table, dict):
+            raise ValueError(f"[tool.{SECTION}] must be a table")
+        return table
+    return _fallback_parse(text)
+
+
+def _fallback_parse(text: str) -> Dict[str, object]:
+    """Parse only the ``[tool.repro-lint]`` table from minimal TOML."""
+    table: Dict[str, object] = {}
+    in_section = False
+    pending_key: Optional[str] = None
+    pending_chunks: List[str] = []
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if pending_key is not None:
+            pending_chunks.append(line)
+            joined = " ".join(pending_chunks)
+            if _array_closed(joined):
+                table[pending_key] = _parse_array(joined)
+                pending_key, pending_chunks = None, []
+            continue
+        if line.startswith("["):
+            in_section = line == f"[tool.{SECTION}]"
+            continue
+        if not in_section or not line or line.startswith("#"):
+            continue
+        match = re.match(r"^([A-Za-z0-9_-]+)\s*=\s*(.*)$", line)
+        if not match:
+            raise ValueError(f"[tool.{SECTION}]: cannot parse line {raw_line!r}")
+        key, value = match.group(1), match.group(2).strip()
+        if value.startswith("["):
+            if _array_closed(value):
+                table[key] = _parse_array(value)
+            else:
+                pending_key, pending_chunks = key, [value]
+        else:
+            table[key] = _parse_string(value)
+    if pending_key is not None:
+        raise ValueError(f"[tool.{SECTION}].{pending_key}: unterminated array")
+    return table
+
+
+def _array_closed(chunk: str) -> bool:
+    return _strip_comment(chunk).rstrip().endswith("]")
+
+
+def _strip_comment(chunk: str) -> str:
+    out: List[str] = []
+    in_string = False
+    for ch in chunk:
+        if ch == '"':
+            in_string = not in_string
+        if ch == "#" and not in_string:
+            break
+        out.append(ch)
+    return "".join(out)
+
+
+def _parse_string(value: str) -> str:
+    value = _strip_comment(value).strip()
+    if len(value) >= 2 and value[0] == value[-1] and value[0] in "\"'":
+        return value[1:-1]
+    raise ValueError(f"expected a quoted string, got {value!r}")
+
+
+def _parse_array(value: str) -> List[str]:
+    value = _strip_comment(value).strip()
+    inner = value[1:-1].strip()
+    if not inner:
+        return []
+    items: List[str] = []
+    for part in inner.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        items.append(_parse_string(part))
+    return items

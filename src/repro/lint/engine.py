@@ -1,0 +1,229 @@
+"""Rule engine: registry, file contexts, suppressions, tree walking.
+
+The engine is deliberately small: a rule is an object with a ``code`` and a
+``check(ctx)`` generator; the engine parses each file once, hands every rule
+the same :class:`FileContext`, filters findings through inline suppression
+comments, and returns sorted diagnostics.  Baseline handling lives in
+:mod:`repro.lint.baseline`; path/config resolution in
+:mod:`repro.lint.config`.
+
+Inline suppressions use the comment syntax::
+
+    something_noisy()  # repro-lint: disable=RPR001
+    other(), thing()   # repro-lint: disable=RPR003,RPR004
+    legacy_line()      # repro-lint: disable
+
+A bare ``disable`` silences every rule on that line.  Suppressions are
+line-scoped on purpose — block scopes rot.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+from repro.lint.config import LintConfig
+from repro.lint.diagnostics import Diagnostic, Severity
+
+#: Matches ``# repro-lint: disable`` with an optional ``=CODE[,CODE...]``.
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable(?:\s*=\s*(?P<codes>[A-Z0-9,\s]+?))?\s*(?:#|$)"
+)
+
+_CODE_RE = re.compile(r"^RPR\d{3}$")
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may inspect about one source file."""
+
+    path: Path  #: absolute path on disk
+    rel_path: str  #: posix path relative to the lint root (used in output)
+    source: str
+    tree: ast.AST
+    config: LintConfig
+    lines: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.source.splitlines()
+
+    def walk(self) -> Iterator[ast.AST]:
+        return ast.walk(self.tree)
+
+    def matches_suffix(self, suffixes: Sequence[str]) -> bool:
+        """True when the file's relative path ends with any of ``suffixes``."""
+        return any(self.rel_path.endswith(sfx) for sfx in suffixes)
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``code`` / ``name`` / ``description`` /
+    ``default_severity`` and implement :meth:`check` as a generator of
+    :class:`Diagnostic`.  Use :meth:`diag` to stamp findings consistently.
+    """
+
+    code: str = "RPR000"
+    name: str = "abstract"
+    description: str = ""
+    default_severity: Severity = Severity.ERROR
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+    def diag(self, ctx: FileContext, node: ast.AST, message: str) -> Diagnostic:
+        return Diagnostic(
+            path=ctx.rel_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            code=self.code,
+            message=message,
+            severity=self.default_severity,
+        )
+
+
+class RuleRegistry:
+    """Ordered collection of rule instances, keyed by code."""
+
+    def __init__(self) -> None:
+        self._rules: Dict[str, Rule] = {}
+
+    def register(self, rule_cls: type) -> type:
+        """Class decorator: instantiate and index the rule."""
+        rule = rule_cls()
+        if not _CODE_RE.match(rule.code):
+            raise ValueError(f"bad rule code {rule.code!r} on {rule_cls.__name__}")
+        if rule.code in self._rules:
+            raise ValueError(f"duplicate rule code {rule.code}")
+        self._rules[rule.code] = rule
+        return rule_cls
+
+    def rules(self) -> List[Rule]:
+        return [self._rules[code] for code in sorted(self._rules)]
+
+    def get(self, code: str) -> Rule:
+        return self._rules[code]
+
+    def enabled(self, config: LintConfig) -> List[Rule]:
+        return [r for r in self.rules() if r.code not in config.disable]
+
+
+#: The default registry; rule modules register into it at import time.
+REGISTRY = RuleRegistry()
+
+
+def parse_suppressions(lines: Sequence[str]) -> Dict[int, Optional[Set[str]]]:
+    """Map 1-based line number -> suppressed codes (``None`` = all codes)."""
+    out: Dict[int, Optional[Set[str]]] = {}
+    for i, line in enumerate(lines, start=1):
+        if "repro-lint" not in line:
+            continue
+        match = _SUPPRESS_RE.search(line)
+        if not match:
+            continue
+        codes = match.group("codes")
+        if codes is None:
+            out[i] = None
+        else:
+            parsed = {c.strip() for c in codes.split(",") if c.strip()}
+            existing = out.get(i, set())
+            out[i] = None if existing is None else (existing or set()) | parsed
+    return out
+
+
+def is_suppressed(
+    diag: Diagnostic, suppressions: Dict[int, Optional[Set[str]]]
+) -> bool:
+    if diag.line not in suppressions:
+        return False
+    codes = suppressions[diag.line]
+    return codes is None or diag.code in codes
+
+
+def lint_source(
+    source: str,
+    rel_path: str,
+    config: Optional[LintConfig] = None,
+    registry: RuleRegistry = REGISTRY,
+    path: Optional[Path] = None,
+) -> List[Diagnostic]:
+    """Lint one in-memory source blob (the unit the tests drive)."""
+    config = config or LintConfig()
+    tree = ast.parse(source, filename=rel_path)
+    ctx = FileContext(
+        path=path or Path(rel_path),
+        rel_path=rel_path,
+        source=source,
+        tree=tree,
+        config=config,
+    )
+    warn_codes = set(config.warn)
+    found: List[Diagnostic] = []
+    for rule in registry.enabled(config):
+        for diag in rule.check(ctx):
+            if diag.code in warn_codes and diag.severity is Severity.ERROR:
+                diag = Diagnostic(
+                    path=diag.path,
+                    line=diag.line,
+                    col=diag.col,
+                    code=diag.code,
+                    message=diag.message,
+                    severity=Severity.WARNING,
+                )
+            found.append(diag)
+    suppressions = parse_suppressions(ctx.lines)
+    kept = [d for d in found if not is_suppressed(d, suppressions)]
+    return sorted(kept, key=Diagnostic.sort_key)
+
+
+def lint_file(
+    path: Path,
+    config: Optional[LintConfig] = None,
+    registry: RuleRegistry = REGISTRY,
+) -> List[Diagnostic]:
+    """Lint one file on disk."""
+    config = config or LintConfig()
+    rel = _relativize(path, config.root)
+    source = path.read_text(encoding="utf-8")
+    return lint_source(source, rel, config=config, registry=registry, path=path)
+
+
+def lint_paths(
+    paths: Iterable[Path],
+    config: Optional[LintConfig] = None,
+    registry: RuleRegistry = REGISTRY,
+) -> List[Diagnostic]:
+    """Lint files and directory trees; returns all diagnostics, sorted."""
+    config = config or LintConfig()
+    diags: List[Diagnostic] = []
+    for file_path in collect_files(paths, config):
+        diags.extend(lint_file(file_path, config=config, registry=registry))
+    return sorted(diags, key=Diagnostic.sort_key)
+
+
+def collect_files(paths: Iterable[Path], config: LintConfig) -> List[Path]:
+    """Expand directories into sorted ``*.py`` files, applying excludes."""
+    out: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        elif path.is_file():
+            candidates = [path]
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        for cand in candidates:
+            rel = _relativize(cand, config.root)
+            if not config.is_excluded(rel):
+                out.append(cand)
+    return out
+
+
+def _relativize(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()

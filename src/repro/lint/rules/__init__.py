@@ -1,0 +1,18 @@
+"""Rule modules; importing this package registers every rule into
+:data:`repro.lint.engine.REGISTRY`."""
+
+from repro.lint.rules import (  # noqa: F401  (import-for-registration)
+    determinism,
+    float_eq,
+    header_fields,
+    immutability,
+    plumbing,
+)
+
+__all__ = [
+    "determinism",
+    "plumbing",
+    "header_fields",
+    "immutability",
+    "float_eq",
+]

@@ -431,7 +431,10 @@ class TelescopeWorld:
         """
         key = (year, week)
         if key not in self._weekly_cache:
-            gen = np.random.default_rng([year, week, 0x5CA9])
+            # The exact entropy words are load-bearing: weekly weights are
+            # calibrated against this stream, and derive_rng mixes tokens
+            # differently.  Keep the pinned construction, suppressed.
+            gen = np.random.default_rng([year, week, 0x5CA9])  # repro-lint: disable=RPR002
             self._weekly_cache[key] = gen.lognormal(0.0, 1.1, size=len(self.registry))
         return self._weekly_cache[key]
 

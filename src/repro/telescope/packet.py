@@ -20,6 +20,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
 import numpy as np
 
+from repro._util.validate import check_header_field
 from repro.telescope.addresses import int_to_ip
 
 # TCP control-bit masks (RFC 793).
@@ -29,6 +30,20 @@ FLAG_RST = 0x04
 FLAG_PSH = 0x08
 FLAG_ACK = 0x10
 FLAG_URG = 0x20
+
+#: Wire widths (bits) of the modelled integer header fields; the single
+#: source of truth for both runtime validation and the RPR003 lint rule.
+_FIELD_BITS = {
+    "src_ip": 32,
+    "dst_ip": 32,
+    "seq": 32,
+    "src_port": 16,
+    "dst_port": 16,
+    "ip_id": 16,
+    "window": 16,
+    "ttl": 8,
+    "flags": 8,
+}
 
 #: Columns of the batch store, in serialisation order.
 _COLUMNS = (
@@ -65,14 +80,8 @@ class SynPacket:
     flags: int = FLAG_SYN
 
     def __post_init__(self) -> None:
-        for name, bound in (
-            ("src_ip", 2**32), ("dst_ip", 2**32), ("seq", 2**32),
-            ("src_port", 2**16), ("dst_port", 2**16), ("ip_id", 2**16),
-            ("window", 2**16), ("ttl", 2**8), ("flags", 2**8),
-        ):
-            value = getattr(self, name)
-            if not 0 <= value < bound:
-                raise ValueError(f"{name} out of range: {value}")
+        for name, bits in _FIELD_BITS.items():
+            check_header_field(name, getattr(self, name), bits)
 
     @property
     def is_syn_only(self) -> bool:
@@ -96,9 +105,14 @@ class SynPacket:
 class PacketBatch:
     """Column-oriented packet store.
 
-    All columns are numpy arrays of equal length; the batch is conceptually
-    immutable (operations return new batches sharing or copying arrays, never
-    mutating in place), which keeps analysis code free of aliasing bugs.
+    All columns are numpy arrays of equal length; the batch is immutable
+    (operations return new batches sharing or copying arrays, never mutating
+    in place), which keeps analysis code free of aliasing bugs.  The
+    invariant is enforced both statically (lint rule RPR004) and at runtime:
+    the batch holds non-writeable views, so ``batch.ttl[0] = 1`` raises
+    ``ValueError``.  Callers that handed arrays to the constructor keep
+    their own writable references — freezing protects against mutation
+    *through the batch*, it does not snapshot shared buffers.
     """
 
     __slots__ = ("_cols",)
@@ -122,7 +136,12 @@ class PacketBatch:
                 raise ValueError(
                     f"column {name} has length {arr.size}, expected {length}"
                 )
-            cols[name] = arr
+            # Hold a non-writeable view so the immutability invariant is a
+            # runtime guarantee, not a convention (the caller's own
+            # reference, if any, keeps its original flags).
+            frozen = arr.view()
+            frozen.setflags(write=False)
+            cols[name] = frozen
         self._cols = cols
 
     # -- constructors ------------------------------------------------------
@@ -289,7 +308,13 @@ class PacketBatch:
         return int(sum(col.nbytes for col in self._cols.values()))
 
     def columns(self) -> Dict[str, np.ndarray]:
-        """The raw column dict (treat as read-only)."""
+        """A fresh dict of the column arrays.
+
+        The dict itself is a copy (re-keying it is fine — see
+        ``Anonymizer.anonymize_batch``); the arrays are the batch's own
+        non-writeable views, so element assignment raises ``ValueError``.
+        Call ``np.array(col)`` for a writable copy.
+        """
         return dict(self._cols)
 
     def __repr__(self) -> str:

@@ -1,0 +1,460 @@
+"""Tests for repro.lint — rule fixtures, suppressions, baseline, CLI.
+
+Each rule family gets positive (fires), negative (stays quiet), suppressed
+and baselined fixtures; a final test asserts the live tree is clean against
+the committed baseline, which is what CI enforces.
+"""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    Baseline,
+    LintConfig,
+    Severity,
+    lint_source,
+)
+from repro.lint.cli import main
+from repro.lint.config import _fallback_parse, load_config
+from repro.lint.engine import parse_suppressions
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def run(source, rel_path="src/repro/core/mod.py", config=None):
+    return lint_source(textwrap.dedent(source), rel_path, config=config)
+
+
+def codes(source, rel_path="src/repro/core/mod.py", config=None):
+    return [d.code for d in run(source, rel_path, config)]
+
+
+class TestDeterminismRule:
+    def test_stdlib_random_import_flagged(self):
+        assert "RPR001" in codes("import random\n")
+
+    def test_stdlib_random_from_import_flagged(self):
+        assert "RPR001" in codes("from random import choice\n")
+
+    def test_stdlib_random_call_flagged(self):
+        src = """\
+        import random
+        x = random.random()
+        """
+        assert codes(src).count("RPR001") >= 2  # import + call
+
+    def test_wall_clock_flagged(self):
+        src = """\
+        import time
+        t = time.time()
+        """
+        assert "RPR001" in codes(src)
+
+    def test_from_import_time_flagged(self):
+        src = """\
+        from time import time
+        t = time()
+        """
+        assert "RPR001" in codes(src)
+
+    def test_datetime_now_flagged(self):
+        src = """\
+        from datetime import datetime
+        stamp = datetime.now()
+        """
+        assert "RPR001" in codes(src)
+
+    def test_legacy_numpy_global_flagged(self):
+        src = """\
+        import numpy as np
+        np.random.seed(0)
+        x = np.random.rand(3)
+        """
+        assert codes(src).count("RPR001") == 2
+
+    def test_unseeded_default_rng_flagged(self):
+        src = """\
+        import numpy as np
+        g = np.random.default_rng()
+        """
+        assert "RPR001" in codes(src)
+
+    def test_generator_methods_not_flagged(self):
+        src = """\
+        import numpy as np
+        def draw(rng: np.random.Generator):
+            return rng.integers(0, 10)
+        """
+        assert "RPR001" not in codes(src)
+
+    def test_rng_module_is_exempt(self):
+        src = """\
+        import numpy as np
+        g = np.random.default_rng()
+        """
+        assert codes(src, rel_path="src/repro/_util/rng.py") == []
+
+
+class TestRngPlumbingRule:
+    def test_seeded_default_rng_flagged(self):
+        src = """\
+        import numpy as np
+        g = np.random.default_rng(42)
+        """
+        assert "RPR002" in codes(src)
+
+    def test_seed_sequence_flagged(self):
+        src = """\
+        import numpy as np
+        s = np.random.SeedSequence(7)
+        """
+        assert "RPR002" in codes(src)
+
+    def test_randomstate_param_direct_draw_flagged(self):
+        src = """\
+        from repro._util.rng import RandomState
+        def jitter(rng: RandomState):
+            return rng.random()
+        """
+        assert "RPR002" in codes(src)
+
+    def test_randomstate_param_string_annotation_flagged(self):
+        src = """\
+        def jitter(rng: "RandomState"):
+            return rng.integers(0, 5)
+        """
+        assert "RPR002" in codes(src)
+
+    def test_normalised_param_not_flagged(self):
+        src = """\
+        from repro._util.rng import RandomState, as_generator
+        def jitter(rng: RandomState):
+            generator = as_generator(rng)
+            return generator.random()
+        """
+        assert "RPR002" not in codes(src)
+
+    def test_rebound_param_not_flagged(self):
+        src = """\
+        from repro._util.rng import RandomState, as_generator
+        def jitter(rng: RandomState):
+            rng = as_generator(rng)
+            return rng.random()
+        """
+        assert "RPR002" not in codes(src)
+
+    def test_generator_annotation_not_flagged(self):
+        src = """\
+        import numpy as np
+        def jitter(rng: np.random.Generator):
+            return rng.random()
+        """
+        assert "RPR002" not in codes(src)
+
+
+class TestHeaderFieldRule:
+    def test_out_of_range_keyword_flagged(self):
+        src = "pkt = SynPacket(time=0.0, src_ip=1, dst_ip=2, src_port=3, dst_port=4, ttl=300)\n"
+        assert "RPR003" in codes(src)
+
+    def test_out_of_range_port_keyword_flagged(self):
+        assert "RPR003" in codes("probe(src_port=70000)\n")
+
+    def test_negative_field_flagged(self):
+        assert "RPR003" in codes("probe(ip_id=-1)\n")
+
+    def test_in_range_keyword_quiet(self):
+        src = "pkt = SynPacket(time=0.0, src_ip=1, dst_ip=2, src_port=3, dst_port=4, ttl=64)\n"
+        assert "RPR003" not in codes(src)
+
+    def test_impossible_validator_literal_flagged(self):
+        assert "RPR003" in codes('check_port("p", 70000)\n')
+        assert "RPR003" in codes('check_ttl("t", 256)\n')
+        assert "RPR003" in codes('check_header_field("w", 65536, 16)\n')
+
+    def test_possible_validator_literal_quiet(self):
+        assert "RPR003" not in codes('check_port("p", 65535)\n')
+
+    def test_numpy_scalar_overflow_flagged(self):
+        src = """\
+        import numpy as np
+        x = np.uint8(256)
+        """
+        assert "RPR003" in codes(src)
+
+    def test_numpy_scalar_in_range_quiet(self):
+        src = """\
+        import numpy as np
+        x = np.uint16(0xFFFF)
+        """
+        assert "RPR003" not in codes(src)
+
+    def test_narrowing_cast_on_column_flagged(self):
+        src = """\
+        import numpy as np
+        low = batch.seq.astype(np.uint16)
+        """
+        assert "RPR003" in codes(src)
+
+    def test_same_width_cast_quiet(self):
+        src = """\
+        import numpy as np
+        t = batch.ttl.astype(np.uint8)
+        """
+        assert "RPR003" not in codes(src)
+
+    def test_cast_on_plain_name_quiet(self):
+        src = """\
+        import numpy as np
+        x = values.astype(np.uint8)
+        """
+        assert "RPR003" not in codes(src)
+
+
+class TestBatchImmutabilityRule:
+    def test_column_subscript_store_flagged(self):
+        assert "RPR004" in codes("batch.ttl[0] = 1\n")
+
+    def test_column_augmented_store_flagged(self):
+        assert "RPR004" in codes("batch.flags[mask] |= 0x10\n")
+
+    def test_cols_rebind_flagged(self):
+        assert "RPR004" in codes("self._cols = {}\n")
+
+    def test_cols_subscript_store_flagged(self):
+        assert "RPR004" in codes('obj._cols["ttl"][0] = 5\n')
+
+    def test_inplace_sort_flagged(self):
+        assert "RPR004" in codes("batch.time.sort()\n")
+
+    def test_plain_array_store_quiet(self):
+        assert "RPR004" not in codes("arr[0] = 1\n")
+
+    def test_unrelated_attribute_quiet(self):
+        assert "RPR004" not in codes("self.total[0] = 1\n")
+
+    def test_defining_module_exempt_for_cols_bind(self):
+        src = "self._cols = cols\n"
+        assert "RPR004" not in codes(src, rel_path="src/repro/telescope/packet.py")
+
+    def test_column_write_flagged_even_in_packet_module(self):
+        # The exemption covers binding the store, not mutating columns.
+        assert "RPR004" in codes(
+            "self.ttl[0] = 1\n", rel_path="src/repro/telescope/packet.py"
+        )
+
+
+class TestFloatEqualityRule:
+    def test_float_literal_eq_flagged(self):
+        assert "RPR005" in codes("flag = x == 0.5\n")
+
+    def test_division_eq_flagged(self):
+        assert "RPR005" in codes("flag = a / b == c\n")
+
+    def test_numpy_mean_ne_flagged(self):
+        src = """\
+        import numpy as np
+        flag = np.mean(v) != 0
+        """
+        assert "RPR005" in codes(src)
+
+    def test_method_mean_eq_flagged(self):
+        assert "RPR005" in codes("flag = xs.mean() == y\n")
+
+    def test_int_eq_quiet(self):
+        assert "RPR005" not in codes("flag = n == 5\n")
+
+    def test_ordering_comparison_quiet(self):
+        assert "RPR005" not in codes("flag = x < 0.5\n")
+
+    def test_outside_core_quiet(self):
+        assert "RPR005" not in codes(
+            "flag = x == 0.5\n", rel_path="src/repro/simulation/mod.py"
+        )
+
+
+class TestSuppressions:
+    def test_matching_code_suppressed(self):
+        assert codes("batch.ttl[0] = 1  # repro-lint: disable=RPR004\n") == []
+
+    def test_bare_disable_suppresses_all(self):
+        src = """\
+        import numpy as np
+        g = np.random.default_rng()  # repro-lint: disable
+        """
+        assert codes(src) == []
+
+    def test_multiple_codes(self):
+        src = "batch.ttl[0] = np.uint8(256)  # repro-lint: disable=RPR003,RPR004\n"
+        assert codes("import numpy as np\n" + src) == []
+
+    def test_wrong_code_does_not_suppress(self):
+        assert codes("batch.ttl[0] = 1  # repro-lint: disable=RPR001\n") == ["RPR004"]
+
+    def test_parse_suppressions_shapes(self):
+        lines = [
+            "x = 1",
+            "y = 2  # repro-lint: disable=RPR001, RPR005",
+            "z = 3  # repro-lint: disable",
+        ]
+        table = parse_suppressions(lines)
+        assert table == {2: {"RPR001", "RPR005"}, 3: None}
+
+
+class TestSeverityAndConfig:
+    def test_warn_demotes_severity(self):
+        cfg = LintConfig(warn=["RPR005"])
+        diags = run("flag = x == 0.5\n", config=cfg)
+        assert [d.severity for d in diags] == [Severity.WARNING]
+
+    def test_disable_removes_rule(self):
+        cfg = LintConfig(disable=["RPR004"])
+        assert codes("batch.ttl[0] = 1\n", config=cfg) == []
+
+    def test_load_config_reads_table(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(textwrap.dedent("""\
+            [tool.other]
+            x = 1
+
+            [tool.repro-lint]
+            paths = ["src/pkg"]
+            baseline = "custom-baseline.json"
+            warn = ["RPR005"]
+        """))
+        cfg = load_config(pyproject)
+        assert cfg.paths == ["src/pkg"]
+        assert cfg.baseline == "custom-baseline.json"
+        assert cfg.warn == ["RPR005"]
+        assert cfg.root == tmp_path.resolve()
+
+    def test_load_config_rejects_unknown_key(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text("[tool.repro-lint]\nbogus = \"x\"\n")
+        with pytest.raises(ValueError):
+            load_config(pyproject)
+
+    def test_fallback_parser_matches_subset(self):
+        text = textwrap.dedent("""\
+            [project]
+            name = "x"
+
+            [tool.repro-lint]
+            baseline = "b.json"  # trailing comment
+            paths = [
+                "src/a",
+                "src/b",
+            ]
+            warn = []
+
+            [tool.after]
+            y = "z"
+        """)
+        table = _fallback_parse(text)
+        assert table == {
+            "baseline": "b.json",
+            "paths": ["src/a", "src/b"],
+            "warn": [],
+        }
+
+
+class TestBaseline:
+    def test_roundtrip(self, tmp_path):
+        diags = run("batch.ttl[0] = 1\n")
+        baseline = Baseline.from_diagnostics(diags)
+        path = tmp_path / "baseline.json"
+        baseline.save(path)
+        loaded = Baseline.load(path)
+        new, known = loaded.partition(diags)
+        assert new == [] and known == diags
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert Baseline.load(tmp_path / "nope.json").entries == set()
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "entries": []}))
+        with pytest.raises(ValueError):
+            Baseline.load(path)
+
+
+VIOLATIONS = {
+    "RPR001": "import numpy as np\ng = np.random.default_rng()\n",
+    "RPR002": "import numpy as np\ng = np.random.default_rng(42)\n",
+    "RPR003": "probe(ttl=300)\n",
+    "RPR004": "batch.ttl[0] = 1\n",
+    "RPR005": "flag = x == 0.5\n",
+}
+
+
+class TestCli:
+    @pytest.mark.parametrize("code", sorted(VIOLATIONS))
+    def test_each_rule_family_fails_the_run(self, tmp_path, code, capsys):
+        target = tmp_path / "core" / "snippet.py"
+        target.parent.mkdir()
+        target.write_text(VIOLATIONS[code])
+        status = main([str(target), "--no-baseline"])
+        out = capsys.readouterr().out
+        assert status == 1
+        assert code in out
+
+    def test_clean_file_exits_zero(self, tmp_path):
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n")
+        assert main([str(target), "--no-baseline"]) == 0
+
+    def test_baseline_workflow(self, tmp_path, capsys):
+        target = tmp_path / "core" / "snippet.py"
+        target.parent.mkdir()
+        target.write_text("batch.ttl[0] = 1\n")
+        baseline = tmp_path / "baseline.json"
+
+        assert main([str(target), "--baseline", str(baseline)]) == 1
+        assert main([str(target), "--baseline", str(baseline),
+                     "--write-baseline"]) == 0
+        # Grandfathered now.
+        assert main([str(target), "--baseline", str(baseline)]) == 0
+        # A new violation still fails.
+        target.write_text("batch.ttl[0] = 1\nbatch.time.sort()\n")
+        assert main([str(target), "--baseline", str(baseline)]) == 1
+        capsys.readouterr()
+
+    def test_json_format(self, tmp_path, capsys):
+        target = tmp_path / "core" / "snippet.py"
+        target.parent.mkdir()
+        target.write_text("flag = x == 0.5\n")
+        status = main([str(target), "--no-baseline", "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert status == 1
+        assert payload["findings"][0]["code"] == "RPR005"
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in sorted(VIOLATIONS):
+            assert code in out
+
+    def test_missing_path_is_usage_error(self, tmp_path):
+        assert main([str(tmp_path / "ghost.py"), "--no-baseline"]) == 2
+
+    def test_syntax_error_is_usage_error(self, tmp_path, capsys):
+        target = tmp_path / "broken.py"
+        target.write_text("def f(:\n")
+        assert main([str(target), "--no-baseline"]) == 2
+        capsys.readouterr()
+
+
+class TestLiveTree:
+    """The enforcement test: the shipped tree must lint clean against the
+    committed configuration and baseline."""
+
+    def test_src_repro_is_clean(self, capsys):
+        status = main([
+            str(REPO_ROOT / "src" / "repro"),
+            "--config", str(REPO_ROOT / "pyproject.toml"),
+        ])
+        out = capsys.readouterr().out
+        assert status == 0, f"repro-lint found new violations:\n{out}"

@@ -170,3 +170,44 @@ class TestPacketBatchOps:
         a = PacketBatch.from_packets(make_packets(n))
         b = PacketBatch.concat([a, a])
         assert len(b) == 2 * n
+
+
+class TestPacketBatchImmutability:
+    """The immutability invariant is enforced at runtime, not just by docs
+    (and statically by lint rule RPR004)."""
+
+    def test_column_write_raises(self):
+        b = PacketBatch.from_packets(make_packets(3))
+        with pytest.raises(ValueError):
+            b.ttl[0] = 1
+
+    def test_every_column_is_read_only(self):
+        b = PacketBatch.from_packets(make_packets(3))
+        for name, col in b.columns().items():
+            assert not col.flags.writeable, name
+
+    def test_augmented_write_raises(self):
+        b = PacketBatch.from_packets(make_packets(3))
+        with pytest.raises(ValueError):
+            b.flags[:] |= 0x10
+
+    def test_derived_batches_also_frozen(self):
+        b = PacketBatch.from_packets(make_packets(10))
+        for derived in (b[2:5], b.sorted_by_time(), b.syn_only(),
+                        PacketBatch.concat([b, b])):
+            with pytest.raises(ValueError):
+                derived.time[0] = 99.0
+
+    def test_caller_arrays_keep_their_flags(self):
+        cols = {n: np.array(c) for n, c in
+                PacketBatch.from_packets(make_packets(2)).columns().items()}
+        PacketBatch(**cols)
+        assert all(arr.flags.writeable for arr in cols.values())
+
+    def test_columns_dict_rekeying_is_allowed(self):
+        # anonymize_batch-style use: replace dict entries, never mutate arrays.
+        b = PacketBatch.from_packets(make_packets(2))
+        cols = b.columns()
+        cols["src_ip"] = cols["src_ip"] + 1  # new array, fine
+        rebuilt = PacketBatch(**cols)
+        assert np.array_equal(rebuilt.src_ip, b.src_ip + 1)

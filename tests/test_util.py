@@ -7,10 +7,14 @@ from hypothesis import given, strategies as st
 from repro._util import (
     as_generator,
     check_fraction,
+    check_header_field,
+    check_ip,
     check_non_negative,
     check_port,
     check_positive,
     check_range,
+    check_ttl,
+    derive_rng,
     empirical_cdf,
     format_count,
     format_percent,
@@ -76,6 +80,74 @@ class TestRng:
             uniform_order_statistics(np.random.default_rng(0), 5, 10.0, 5.0)
 
 
+class TestDeriveRng:
+    """Regression tests for the SeedSequence-based stream derivation.
+
+    The documented property: same (state, tokens) -> same stream, no matter
+    how many other streams were derived in between, and without consuming
+    draws from a seed-visible base generator.
+    """
+
+    def test_stable_under_interleaving(self):
+        a = derive_rng(7, "campaign", 3).integers(0, 10**6, 8)
+        derive_rng(7, "unrelated")  # must not perturb the "campaign" stream
+        derive_rng(7, "campaign", 4)
+        b = derive_rng(7, "campaign", 3).integers(0, 10**6, 8)
+        assert np.array_equal(a, b)
+
+    def test_distinct_tokens_distinct_streams(self):
+        a = derive_rng(7, "x").integers(0, 10**6, 8)
+        b = derive_rng(7, "y").integers(0, 10**6, 8)
+        assert not np.array_equal(a, b)
+
+    def test_token_concatenation_is_not_ambiguous(self):
+        a = derive_rng(1, "ab").integers(0, 10**6, 8)
+        b = derive_rng(1, "a", "b").integers(0, 10**6, 8)
+        assert not np.array_equal(a, b)
+
+    def test_none_state_is_deterministic(self):
+        assert np.array_equal(
+            derive_rng(None, "t").integers(0, 10**6, 8),
+            derive_rng(None, "t").integers(0, 10**6, 8),
+        )
+
+    def test_list_entropy_generator_supported(self):
+        # Pre-fix, SeedSequence list entropy raised (int(list)) or was
+        # silently collapsed to 0, merging streams of different bases.
+        a = derive_rng(np.random.default_rng([1, 2, 3]), "t").integers(0, 10**6, 8)
+        b = derive_rng(np.random.default_rng([1, 2, 3]), "t").integers(0, 10**6, 8)
+        c = derive_rng(np.random.default_rng([4, 5]), "t").integers(0, 10**6, 8)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_spawned_child_distinct_from_parent(self):
+        child_seq = np.random.SeedSequence(7).spawn(1)[0]
+        child = derive_rng(np.random.default_rng(child_seq), "t")
+        parent = derive_rng(np.random.default_rng(7), "t")
+        assert not np.array_equal(
+            child.integers(0, 10**6, 8), parent.integers(0, 10**6, 8)
+        )
+
+    def test_does_not_consume_base_draws(self):
+        gen = np.random.default_rng(123)
+        untouched = np.random.default_rng(123)
+        derive_rng(gen, "a")
+        derive_rng(gen, "b")
+        assert np.array_equal(
+            gen.integers(0, 10**6, 8), untouched.integers(0, 10**6, 8)
+        )
+
+    def test_generator_state_matches_int_seed(self):
+        assert np.array_equal(
+            derive_rng(np.random.default_rng(9), "t").integers(0, 10**6, 8),
+            derive_rng(9, "t").integers(0, 10**6, 8),
+        )
+
+    def test_rejects_bad_state(self):
+        with pytest.raises(TypeError):
+            derive_rng("seed", "t")
+
+
 class TestValidate:
     def test_check_positive_accepts(self):
         assert check_positive("x", 0.5) == 0.5
@@ -112,6 +184,39 @@ class TestValidate:
             check_port("p", 65536)
         with pytest.raises(TypeError):
             check_port("p", 1.5)
+
+    def test_check_ttl(self):
+        assert check_ttl("ttl", 0) == 0
+        assert check_ttl("ttl", 255) == 255
+        with pytest.raises(ValueError):
+            check_ttl("ttl", 256)
+        with pytest.raises(ValueError):
+            check_ttl("ttl", -1)
+
+    def test_check_ip(self):
+        assert check_ip("ip", 2**32 - 1) == 2**32 - 1
+        with pytest.raises(ValueError):
+            check_ip("ip", 2**32)
+        with pytest.raises(TypeError):
+            check_ip("ip", "10.0.0.1")
+
+    def test_check_header_field_generic(self):
+        assert check_header_field("seq", 2**32 - 1, 32) == 2**32 - 1
+        with pytest.raises(ValueError):
+            check_header_field("seq", 2**32, 32)
+        with pytest.raises(TypeError):
+            check_header_field("f", 1.0, 8)
+        with pytest.raises(TypeError):
+            check_header_field("f", True, 8)
+
+    def test_check_header_field_numpy_int_accepted(self):
+        assert check_header_field("ttl", np.uint8(64), 8) == 64
+
+    def test_check_header_field_bad_bits(self):
+        with pytest.raises(ValueError):
+            check_header_field("f", 1, 0)
+        with pytest.raises(ValueError):
+            check_header_field("f", 1, -8)
 
 
 class TestStats:
