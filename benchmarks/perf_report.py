@@ -1,0 +1,83 @@
+"""Dump the library's throughput numbers to ``BENCH_performance.json``.
+
+Runs the ``test_perf_*`` benchmarks of :mod:`bench_performance` under
+pytest-benchmark, then reduces the raw timing distributions to a compact
+``{benchmark name: {median_s, mean_s, rounds}}`` document that CI can archive
+and diff across commits.  Usage::
+
+    PYTHONPATH=src python benchmarks/perf_report.py [--out BENCH_performance.json]
+
+The heavy decade fixture is shared with the other benchmarks, so the same
+``REPRO_BENCH_*`` environment knobs (see ``conftest.py``) shrink this run
+for smoke testing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).parent
+DEFAULT_OUT = BENCH_DIR.parent / "BENCH_performance.json"
+
+
+def run_benchmarks(raw_json: Path) -> int:
+    """Run bench_performance.py with pytest-benchmark's JSON export."""
+    cmd = [
+        sys.executable, "-m", "pytest",
+        str(BENCH_DIR / "bench_performance.py"),
+        "-q", "-p", "no:cacheprovider",
+        f"--benchmark-json={raw_json}",
+    ]
+    return subprocess.call(cmd)
+
+
+def summarise(raw_json: Path) -> dict:
+    """Reduce pytest-benchmark's export to medians per benchmark."""
+    data = json.loads(raw_json.read_text())
+    out = {}
+    for bench in data.get("benchmarks", []):
+        stats = bench["stats"]
+        out[bench["name"]] = {
+            "median_s": stats["median"],
+            "mean_s": stats["mean"],
+            "stddev_s": stats["stddev"],
+            "rounds": stats["rounds"],
+        }
+    return {
+        "machine": data.get("machine_info", {}).get("node", "unknown"),
+        "python": data.get("machine_info", {}).get("python_version", ""),
+        "datetime": data.get("datetime", ""),
+        "benchmarks": out,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help="summary JSON path")
+    parser.add_argument("--raw", type=Path, default=None,
+                        help="keep pytest-benchmark's full export here")
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        raw_json = args.raw or Path(tmp) / "raw.json"
+        code = run_benchmarks(raw_json)
+        if code != 0:
+            print(f"benchmark run failed (exit {code})", file=sys.stderr)
+            return code
+        summary = summarise(raw_json)
+
+    args.out.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {len(summary['benchmarks'])} benchmark medians to {args.out}")
+    for name, stats in sorted(summary["benchmarks"].items()):
+        print(f"  {name:40s} median {stats['median_s'] * 1e3:9.2f} ms")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

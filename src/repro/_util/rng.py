@@ -9,7 +9,7 @@ stochastic consumer never perturbs the draws of existing ones.
 from __future__ import annotations
 
 import hashlib
-from typing import List, Union
+from typing import List, Tuple, Union
 
 import numpy as np
 
@@ -91,6 +91,18 @@ def _entropy_words(state: RandomState) -> List[int]:
         # Opaque bit generator: consume one draw (documented fallback).
         return [int(state.integers(0, 2 ** 63))]
     raise TypeError(f"cannot extract entropy from {type(state).__name__}")
+
+
+def stream_signature(state: RandomState) -> Tuple[int, ...]:
+    """Stable integer words identifying ``state``'s stream.
+
+    Two states with equal signatures produce identical :func:`derive_rng`
+    children for the same tokens, so the signature is a safe cache-key
+    component (see ``repro.exec.cache``).  For seeds and seed-sequence-backed
+    generators this never consumes draws; an opaque bit generator falls back
+    to consuming one draw, exactly like :func:`derive_rng`.
+    """
+    return tuple(_entropy_words(state))
 
 
 def spawn_rngs(state: RandomState, count: int) -> List[np.random.Generator]:

@@ -66,6 +66,8 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="output .rtrace path")
     sim.add_argument("--pcap", type=Path, default=None,
                      help="also write a pcap copy (tcpdump/Wireshark)")
+    sim.add_argument("--cache-dir", type=Path, default=None,
+                     help="content-addressed capture cache directory")
 
     ana = sub.add_parser("analyze", help="run the full pipeline over a capture")
     ana.add_argument("capture", type=Path, help=".rtrace or .pcap file")
@@ -80,6 +82,10 @@ def _build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--days", type=int, default=14)
     rep.add_argument("--max-packets", type=int, default=250_000)
     rep.add_argument("--seed", type=int, default=7)
+    rep.add_argument("--workers", type=int, default=0,
+                     help="simulate years over N worker processes (0 = serial)")
+    rep.add_argument("--cache-dir", type=Path, default=None,
+                     help="content-addressed capture cache directory")
 
     fpr = sub.add_parser("fingerprint", help="per-tool attribution of a capture")
     fpr.add_argument("capture", type=Path)
@@ -92,6 +98,10 @@ def _build_parser() -> argparse.ArgumentParser:
     val.add_argument("--max-packets", type=int, default=100_000)
     val.add_argument("--seed", type=int, default=7)
     val.add_argument("--years", type=str, default="2015,2017,2020,2022,2024")
+    val.add_argument("--workers", type=int, default=0,
+                     help="simulate years over N worker processes (0 = serial)")
+    val.add_argument("--cache-dir", type=Path, default=None,
+                     help="content-addressed capture cache directory")
 
     anon = sub.add_parser(
         "anonymize",
@@ -107,6 +117,15 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _make_cache(args: argparse.Namespace):
+    """Build the capture cache named by ``--cache-dir`` (or ``None``)."""
+    if getattr(args, "cache_dir", None) is None:
+        return None
+    from repro.exec import CaptureCache
+
+    return CaptureCache(args.cache_dir)
+
+
 def _load_capture(path: Path):
     """Read a capture plus its metadata from .rtrace or .pcap."""
     if path.suffix == ".pcap":
@@ -117,10 +136,13 @@ def _load_capture(path: Path):
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     world = TelescopeWorld(rng=args.seed)
+    cache = _make_cache(args)
     sim = world.simulate_year(
         args.year, days=args.days, max_packets=args.max_packets,
-        min_scans=args.min_scans,
+        min_scans=args.min_scans, cache=cache,
     )
+    if cache is not None:
+        print(cache.stats_line(), file=sys.stderr)
     meta = {
         "year": sim.year,
         "days": sim.days,
@@ -175,12 +197,19 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(f"error: years outside the study range: {bad}", file=sys.stderr)
         return 2
     world = TelescopeWorld(rng=args.seed)
+    cache = _make_cache(args)
+    sims = world.simulate_years(
+        years, days=args.days, max_packets=args.max_packets,
+        workers=args.workers, cache=cache,
+    )
     summaries = {}
     for year in years:
-        sim = world.simulate_year(year, days=args.days,
-                                  max_packets=args.max_packets)
+        sim = sims[year]
         summaries[year] = summarize_period(analyze_simulation(sim))
-        print(f"{year}: simulated {len(sim.batch):,} packets", file=sys.stderr)
+        origin = "cached" if sim.cache_hit else "simulated"
+        print(f"{year}: {origin} {len(sim.batch):,} packets", file=sys.stderr)
+    if cache is not None:
+        print(cache.stats_line(), file=sys.stderr)
     print(render_table1(
         summaries, scale_note="(simulation scale; volumes not projected)"
     ))
@@ -213,13 +242,16 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         print(f"error: years outside the study range: {bad}", file=sys.stderr)
         return 2
     world = TelescopeWorld(rng=args.seed)
-    sims, analyses = {}, {}
-    for year in years:
-        print(f"simulating {year} ...", file=sys.stderr)
-        sims[year] = world.simulate_year(
-            year, days=args.days, max_packets=args.max_packets, min_scans=400
-        )
-        analyses[year] = analyze_simulation(sims[year])
+    cache = _make_cache(args)
+    print(f"simulating {len(years)} year(s) "
+          f"(workers={args.workers}) ...", file=sys.stderr)
+    sims = world.simulate_years(
+        years, days=args.days, max_packets=args.max_packets, min_scans=400,
+        workers=args.workers, cache=cache,
+    )
+    analyses = {year: analyze_simulation(sims[year]) for year in years}
+    if cache is not None:
+        print(cache.stats_line(), file=sys.stderr)
     checks = validate_reproduction(analyses, sims)
     print(render_scorecard(checks))
     return 0 if all(c.passed for c in checks) else 1

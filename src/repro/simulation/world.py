@@ -23,11 +23,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro._util.rng import RandomState, as_generator
+from repro._util.rng import RandomState, as_generator, derive_rng
 from repro.enrichment.knownscanners import (
     InstitutionProfile,
     institutions_active_in,
@@ -53,6 +53,9 @@ from repro.simulation.ports import PortSelector, alias_ports_of
 from repro.telescope.addresses import IPV4_SPACE_SIZE
 from repro.telescope.packet import FLAG_SYN, PacketBatch
 from repro.telescope.sensor import Telescope
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.exec.cache import CaptureCache
 
 _DAY = 86_400.0
 _WEEK = 7 * _DAY
@@ -95,6 +98,9 @@ class SimulationResult:
     #: analysis are compressed by this factor when packet and scan scales
     #: diverge; divide by it to compare against the paper's absolute numbers.
     coverage_cap: float = 1.0
+    #: True when this result was materialised from a capture cache instead of
+    #: being synthesized (see ``repro.exec.cache.CaptureCache``).
+    cache_hit: bool = False
 
     @property
     def days(self) -> int:
@@ -124,6 +130,11 @@ class TelescopeWorld:
         registry: Optional[InternetRegistry] = None,
         rng: RandomState = None,
     ):
+        # Per-year streams are re-keyed off this root, so a year's draws
+        # depend only on (world seed, year) — never on how many other years
+        # were simulated first.  That order-independence is what makes
+        # `simulate_years` safely parallelisable (repro.exec).
+        self._stream_root = derive_rng(rng, "telescope-world")
         self._rng = as_generator(rng)
         self.telescope = telescope if telescope is not None else Telescope.paper_telescope(
             rng=self._rng
@@ -142,6 +153,7 @@ class TelescopeWorld:
         max_packets: int = DEFAULT_MAX_PACKETS,
         min_scans: int = 1200,
         config: Optional[YearConfig] = None,
+        cache: Optional["CaptureCache"] = None,
     ) -> SimulationResult:
         """Simulate one measurement period.
 
@@ -151,10 +163,22 @@ class TelescopeWorld:
             max_packets: telescope-packet budget for the whole period.
             min_scans: floor on the number of observed scans simulated.
             config: override the calibrated :func:`year_config`.
+            cache: optional capture cache; calibrated (``config is None``)
+                periods are loaded from / stored into it, keyed on the world
+                seed, telescope layout, year calibration and budgets.
         """
         cfg = config if config is not None else year_config(year, days=days)
+        if cache is not None and config is None:
+            key = cache.key_for(self, cfg.year, days=days, max_packets=max_packets,
+                                min_scans=min_scans)
+            hit = cache.load(key, self)
+            if hit is not None:
+                return hit
         scaled = cfg.scaled(max_packets)
-        rng = self._rng
+        # The year's entire realisation comes from this derived stream: same
+        # world seed + same year ⇒ byte-identical capture, in any call order
+        # and at any `simulate_years` worker count.
+        rng = derive_rng(self._stream_root, "simulate-year", cfg.year)
         self._recurrence_pools.clear()
 
         period = cfg.days * _DAY
@@ -220,7 +244,7 @@ class TelescopeWorld:
         raw = PacketBatch.concat([b for b in batches if len(b)])
         observed = self.telescope.observe(raw, cfg.year)
 
-        return SimulationResult(
+        result = SimulationResult(
             year=cfg.year,
             config=cfg,
             telescope=self.telescope,
@@ -233,6 +257,9 @@ class TelescopeWorld:
             backscatter_packets=len(bs_batch),
             coverage_cap=hit_cap / self.telescope.size,
         )
+        if cache is not None and config is None:
+            cache.store(key, result)
+        return result
 
     def simulate_years(
         self,
@@ -240,14 +267,22 @@ class TelescopeWorld:
         days: int = DEFAULT_PERIOD_DAYS,
         max_packets: int = DEFAULT_MAX_PACKETS,
         min_scans: int = 1200,
+        workers: int = 0,
+        cache: Optional["CaptureCache"] = None,
     ) -> Dict[int, SimulationResult]:
-        """Simulate several years with shared telescope and registry."""
-        return {
-            year: self.simulate_year(
-                year, days=days, max_packets=max_packets, min_scans=min_scans
-            )
-            for year in years
-        }
+        """Simulate several years with shared telescope and registry.
+
+        ``workers=0`` runs serially in-process; ``workers >= 1`` fans the
+        years out over a process pool (repro.exec).  Because every year's
+        stream is derived from ``(world seed, year)`` alone, the output is
+        byte-identical at any worker count and in any year order.
+        """
+        from repro.exec.parallel import simulate_years_parallel
+
+        return simulate_years_parallel(
+            self, years, days=days, max_packets=max_packets,
+            min_scans=min_scans, workers=workers, cache=cache,
+        )
 
     # -- cohort campaigns -------------------------------------------------------
 

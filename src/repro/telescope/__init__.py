@@ -53,6 +53,7 @@ from repro.telescope.trace import (
     TraceWriter,
     iter_trace,
     read_trace,
+    read_trace_meta,
     write_trace,
 )
 
@@ -94,5 +95,6 @@ __all__ = [
     "TraceWriter",
     "iter_trace",
     "read_trace",
+    "read_trace_meta",
     "write_trace",
 ]

@@ -38,10 +38,18 @@ class PrefixPreservingAnonymizer:
     cryptographic adversary.
     """
 
+    #: Addresses processed per block in :meth:`anonymize`; bounds the
+    #: (32, chunk) round matrices to a few megabytes regardless of input size.
+    _CHUNK = 1 << 16
+
     def __init__(self, key: int):
         if not 0 <= key < 2**64:
             raise ValueError("key must be a 64-bit integer")
         self._key = np.uint64(key)
+        with np.errstate(over="ignore"):
+            self._round_constants = np.arange(32, dtype=np.uint64) * np.uint64(
+                0x9E3779B97F4A7C15
+            )
 
     def _prf_bit(self, prefixes: np.ndarray, bit_index: int) -> np.ndarray:
         """One pseudorandom bit per row, keyed on (prefix, bit position).
@@ -60,19 +68,37 @@ class PrefixPreservingAnonymizer:
             mixed = mixed * np.uint64(0xC4CEB9FE1A85EC53)
         return ((mixed >> np.uint64(63)) & np.uint64(1)).astype(np.uint32)
 
+    def _anonymize_chunk(self, addresses: np.ndarray) -> np.ndarray:
+        """All 32 PRF rounds of one flat uint32 block as a (32, n) pass.
+
+        Round ``i``'s PRF input is the *plaintext* prefix of the high ``i``
+        bits — it never depends on earlier rounds' outputs — so the round
+        loop of :meth:`_prf_bit` unrolls into broadcast arithmetic: build
+        every prefix with one shift, mix them all at once, and XOR the
+        assembled flip mask into the input.
+        """
+        addr64 = addresses.astype(np.uint64)
+        shifts = np.uint64(32) - np.arange(32, dtype=np.uint64)
+        prefixes = addr64[None, :] >> shifts[:, None]
+        mixed = prefixes ^ self._key ^ self._round_constants[:, None]
+        with np.errstate(over="ignore"):
+            mixed *= np.uint64(0xFF51AFD7ED558CCD)
+            mixed ^= mixed >> np.uint64(33)
+            mixed *= np.uint64(0xC4CEB9FE1A85EC53)
+        flips = (mixed >> np.uint64(63)).astype(np.uint32)
+        out_shifts = np.uint32(31) - np.arange(32, dtype=np.uint32)
+        mask = np.bitwise_or.reduce(flips << out_shifts[:, None], axis=0)
+        return addresses ^ mask
+
     def anonymize(self, addresses: np.ndarray) -> np.ndarray:
         """Anonymise a uint32 address array (vectorised, 32 PRF rounds)."""
         addresses = np.asarray(addresses, dtype=np.uint32)
-        out = np.zeros(addresses.shape, dtype=np.uint32)
-        prefix = np.zeros(addresses.shape, dtype=np.uint64)
-        for bit_index in range(32):
-            shift = np.uint32(31 - bit_index)
-            in_bit = (addresses >> shift) & np.uint32(1)
-            flip = self._prf_bit(prefix, bit_index)
-            out |= ((in_bit ^ flip) << shift).astype(np.uint32)
-            # Extend the (plaintext) prefix by the input bit.
-            prefix = (prefix << np.uint64(1)) | in_bit.astype(np.uint64)
-        return out
+        flat = addresses.reshape(-1)
+        out = np.empty_like(flat)
+        for start in range(0, flat.size, self._CHUNK):
+            block = slice(start, start + self._CHUNK)
+            out[block] = self._anonymize_chunk(flat[block])
+        return out.reshape(addresses.shape)
 
     def anonymize_one(self, address: int) -> int:
         """Anonymise a single address."""

@@ -158,6 +158,17 @@ def write_trace(
         return writer.packets_written
 
 
+def read_trace_meta(path: PathLike) -> Dict[str, Any]:
+    """Read only a trace's metadata block, without touching the chunks.
+
+    Cache lookups and capture inventories need the meta (key, year, scales)
+    far more often than the packets; this stops after the JSON header, so it
+    costs a few kilobytes of I/O regardless of capture size.
+    """
+    with TraceReader(path) as reader:
+        return reader.meta
+
+
 def read_trace(path: PathLike) -> Tuple[PacketBatch, Dict[str, Any]]:
     """Read a whole trace into memory; returns ``(batch, meta)``."""
     with TraceReader(path) as reader:

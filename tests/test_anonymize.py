@@ -82,6 +82,48 @@ class TestAnonymizer:
         assert np.unique(out >> np.uint32(16)).size == 1
 
 
+class TestRoundUnrollRegression:
+    """The broadcast (32, n) implementation must match the round loop."""
+
+    @staticmethod
+    def _reference_anonymize(
+        anonymizer: PrefixPreservingAnonymizer, addresses: np.ndarray
+    ) -> np.ndarray:
+        """Original bit-at-a-time implementation, kept as the executable spec."""
+        addresses = np.asarray(addresses, dtype=np.uint32)
+        out = np.zeros(addresses.shape, dtype=np.uint32)
+        prefix = np.zeros(addresses.shape, dtype=np.uint64)
+        for bit_index in range(32):
+            shift = np.uint32(31 - bit_index)
+            in_bit = (addresses >> shift) & np.uint32(1)
+            flip = anonymizer._prf_bit(prefix, bit_index)
+            out |= ((in_bit ^ flip) << shift).astype(np.uint32)
+            prefix = (prefix << np.uint64(1)) | in_bit.astype(np.uint64)
+        return out
+
+    def test_bit_identical_to_round_loop(self):
+        gen = np.random.default_rng(2024)
+        # More than one _CHUNK so the blockwise path is exercised, plus the
+        # bit-pattern edge cases.
+        arr = np.concatenate([
+            np.array([0, 1, 2**31, 2**32 - 1, 0x7FFFFFFF, 0x55555555],
+                     dtype=np.uint32),
+            gen.integers(0, 2**32, 150_000, dtype=np.uint32),
+        ])
+        for key in (0, 7, 2**64 - 1):
+            anonymizer = PrefixPreservingAnonymizer(key)
+            assert np.array_equal(
+                anonymizer.anonymize(arr),
+                self._reference_anonymize(anonymizer, arr),
+            )
+
+    def test_scalar_and_empty_shapes(self):
+        anonymizer = PrefixPreservingAnonymizer(3)
+        assert anonymizer.anonymize(np.empty(0, dtype=np.uint32)).size == 0
+        single = anonymizer.anonymize_one(ip_to_int("192.0.2.1"))
+        assert 0 <= single < 2**32
+
+
 class TestBatchAnonymisation:
     def test_sources_rewritten_destinations_kept(self, sim2020):
         subset = sim2020.batch[0:5000]

@@ -9,6 +9,7 @@ from repro.core.campaigns import (
     detect_sequential,
     estimate_internet_rate,
     identify_scans,
+    identify_scans_reference,
     iter_source_sessions,
 )
 from repro.scanners import Tool
@@ -273,3 +274,57 @@ class TestScanTable:
         scans.enrich(classifier)
         assert scans.country[0] == "CN"
         assert scans.scanner_type[0] is not None
+
+
+class TestVectorizedAgainstReference:
+    """The array implementation must reproduce the per-session loop exactly."""
+
+    def _assert_tables_equal(self, a, b):
+        assert len(a) == len(b)
+        for name in ("src_ip", "start", "end", "packets", "distinct_dsts",
+                     "primary_port", "tool", "match_fraction", "coverage",
+                     "sequential", "window_mode", "ttl_mode"):
+            va, vb = getattr(a, name), getattr(b, name)
+            assert va.dtype == vb.dtype, name
+            assert np.array_equal(va, vb), name
+        np.testing.assert_allclose(a.speed_pps, b.speed_pps, rtol=1e-9)
+        for pa, pb in zip(a.port_sets, b.port_sets):
+            assert pa.dtype == pb.dtype == np.int64
+            assert np.array_equal(pa, pb)
+
+    def test_simulated_capture(self, sim2020):
+        self._assert_tables_equal(
+            identify_scans_reference(sim2020.batch),
+            identify_scans(sim2020.batch),
+        )
+
+    def test_synthetic_edge_sessions(self):
+        # Sweep (perfect correlation), random session, and a constant-dst
+        # session that must be rejected, interleaved in one batch.
+        gen = np.random.default_rng(3)
+        sweep_dst = np.arange(0x64400000, 0x64400000 + 600, dtype=np.uint32)
+        sweep = PacketBatch(
+            time=np.linspace(0.0, 30.0, 600),
+            src_ip=np.full(600, 42, dtype=np.uint32),
+            dst_ip=sweep_dst,
+            src_port=np.full(600, 40000, dtype=np.uint16),
+            dst_port=np.full(600, 23, dtype=np.uint16),
+            ip_id=gen.integers(0, 2**16, 600, dtype=np.uint16),
+            seq=gen.integers(0, 2**32, 600, dtype=np.uint32),
+            ttl=np.full(600, 240, dtype=np.uint8),
+            window=np.full(600, 29200, dtype=np.uint16),
+            flags=np.full(600, 2, dtype=np.uint8),
+        )
+        batch = PacketBatch.concat([
+            sweep,
+            session_batch(src=7, n=400, duration=80.0, seed=4),
+            session_batch(src=9, n=300, duration=60.0, distinct_dsts=3,
+                          seed=5),
+        ]).sorted_by_time()
+        self._assert_tables_equal(
+            identify_scans_reference(batch), identify_scans(batch)
+        )
+
+    def test_empty(self):
+        assert len(identify_scans(PacketBatch.empty())) == 0
+        assert len(identify_scans_reference(PacketBatch.empty())) == 0
