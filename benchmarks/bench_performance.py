@@ -13,6 +13,7 @@ import pytest
 from repro.core.campaigns import identify_scans
 from repro.core.fingerprints import ToolFingerprinter
 from repro.enrichment import ScannerClassifier
+from repro.stream import BatchStreamSource, StreamConfig, StreamEngine
 from repro.telescope import (
     PrefixPreservingAnonymizer,
     read_trace,
@@ -32,6 +33,29 @@ def test_perf_identify_scans(perf_batch, benchmark):
         lambda: identify_scans(perf_batch), rounds=3, iterations=1
     )
     assert len(result) > 100
+
+
+def test_perf_stream_identify(perf_batch, benchmark):
+    """Streaming campaign identification (repro.stream) at 64k windows.
+
+    The run's throughput and peak RSS land in ``benchmark.extra_info`` so
+    ``perf_report.py`` can publish them next to the batch numbers.
+    """
+    engine = StreamEngine(config=StreamConfig(batch_size=65_536))
+    holder = {}
+
+    def work():
+        result = engine.run(BatchStreamSource(perf_batch, batch_size=65_536))
+        holder["stats"] = result.stats
+        return result.scans
+
+    table = benchmark.pedantic(work, rounds=3, iterations=1)
+    stats = holder["stats"]
+    benchmark.extra_info["packets"] = stats.packets
+    benchmark.extra_info["stream_packets_per_s"] = round(stats.packets_per_s)
+    benchmark.extra_info["peak_rss_bytes"] = stats.peak_rss_bytes
+    benchmark.extra_info["peak_open_session_bytes"] = stats.buffered_bytes
+    assert len(table) > 100
 
 
 def test_perf_per_packet_fingerprint(perf_batch, benchmark):

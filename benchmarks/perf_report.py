@@ -42,12 +42,18 @@ def summarise(raw_json: Path) -> dict:
     out = {}
     for bench in data.get("benchmarks", []):
         stats = bench["stats"]
-        out[bench["name"]] = {
+        entry = {
             "median_s": stats["median"],
             "mean_s": stats["mean"],
             "stddev_s": stats["stddev"],
             "rounds": stats["rounds"],
         }
+        # Streaming benchmarks attach throughput / peak-RSS gauges via
+        # ``benchmark.extra_info``; publish them next to the timings.
+        extra = bench.get("extra_info") or {}
+        if extra:
+            entry["extra"] = dict(sorted(extra.items()))
+        out[bench["name"]] = entry
     return {
         "machine": data.get("machine_info", {}).get("node", "unknown"),
         "python": data.get("machine_info", {}).get("python_version", ""),
@@ -75,7 +81,12 @@ def main(argv=None) -> int:
     args.out.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
     print(f"wrote {len(summary['benchmarks'])} benchmark medians to {args.out}")
     for name, stats in sorted(summary["benchmarks"].items()):
-        print(f"  {name:40s} median {stats['median_s'] * 1e3:9.2f} ms")
+        line = f"  {name:40s} median {stats['median_s'] * 1e3:9.2f} ms"
+        extra = stats.get("extra", {})
+        if "stream_packets_per_s" in extra:
+            line += (f"  ({extra['stream_packets_per_s']:,} pps, "
+                     f"peak RSS {extra['peak_rss_bytes'] / 1e6:.0f} MB)")
+        print(line)
     return 0
 
 

@@ -1,9 +1,10 @@
 """Command-line interface.
 
-Four subcommands cover the simulate → capture → analyse → report loop::
+The subcommands cover the simulate → capture → analyse → report loop::
 
     repro-scan simulate --year 2020 --out capture.rtrace [--pcap capture.pcap]
     repro-scan analyze capture.rtrace
+    repro-scan stream capture.rtrace --checkpoint-dir .stream-ckpt
     repro-scan report --years 2015,2020,2024
     repro-scan fingerprint capture.rtrace
 
@@ -12,6 +13,11 @@ Captures produced by ``simulate`` carry their period metadata, so
 analysed with explicit ``--year``/``--days``.  The synthetic Internet
 registry is deterministic, so enrichment works identically across
 processes.
+
+Flag parity: every subcommand that loads captures accepts ``--workers`` /
+``--cache-dir`` (a capture argument may then name a cache entry by its
+content key), and a shared ``--batch-size`` that bounds the streaming
+reader's windows.
 """
 
 from __future__ import annotations
@@ -39,13 +45,38 @@ from repro.reporting import (
     validate_reproduction,
 )
 from repro.simulation import ALL_YEARS, TelescopeWorld
+from repro.stream import DEFAULT_BATCH_SIZE as STREAM_DEFAULT_BATCH_SIZE
+from repro.stream import (
+    BatchStreamSource,
+    StreamConfig,
+    StreamEngine,
+    TraceStreamSource,
+    format_bytes,
+    peak_rss_bytes,
+)
 from repro.telescope import (
+    PacketBatch,
     PrefixPreservingAnonymizer,
     read_pcap,
-    read_trace,
     write_pcap,
     write_trace,
 )
+
+
+def _add_worker_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared execution flags every capture-touching subcommand takes."""
+    parser.add_argument("--workers", type=int, default=0,
+                        help="worker processes for simulation (0 = serial)")
+    parser.add_argument("--cache-dir", type=Path, default=None,
+                        help="content-addressed capture cache directory")
+
+
+def _add_capture_flags(parser: argparse.ArgumentParser) -> None:
+    """Flags of subcommands that read a capture through the streaming layer."""
+    _add_worker_flags(parser)
+    parser.add_argument("--batch-size", type=int, default=None,
+                        help="streaming-reader window size in packets "
+                             f"(default {STREAM_DEFAULT_BATCH_SIZE:,})")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -66,15 +97,34 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="output .rtrace path")
     sim.add_argument("--pcap", type=Path, default=None,
                      help="also write a pcap copy (tcpdump/Wireshark)")
-    sim.add_argument("--cache-dir", type=Path, default=None,
-                     help="content-addressed capture cache directory")
+    _add_worker_flags(sim)
 
     ana = sub.add_parser("analyze", help="run the full pipeline over a capture")
-    ana.add_argument("capture", type=Path, help=".rtrace or .pcap file")
+    ana.add_argument("capture", type=Path, help=".rtrace/.pcap file or cache key")
     ana.add_argument("--year", type=int, default=None,
                      help="override the capture's year metadata")
     ana.add_argument("--days", type=int, default=None,
                      help="override the capture's period length")
+    _add_capture_flags(ana)
+
+    stm = sub.add_parser(
+        "stream",
+        help="bounded-memory streaming scan identification with checkpoints",
+    )
+    stm.add_argument("capture", type=Path, help=".rtrace/.pcap file or cache key")
+    stm.add_argument("--window-s", type=float, default=None,
+                     help="align windows to absolute time buckets of this size")
+    stm.add_argument("--checkpoint-dir", type=Path, default=None,
+                     help="durable checkpoint directory (enables resume)")
+    stm.add_argument("--checkpoint-every", type=int, default=8,
+                     help="windows between checkpoint saves")
+    stm.add_argument("--progress-every", type=int, default=0,
+                     help="print a progress line every N windows (0 = off)")
+    stm.add_argument("--stats-json", type=Path, default=None,
+                     help="write the final stream stats as JSON")
+    stm.add_argument("--tolerate-truncation", action="store_true",
+                     help="accept a cleanly-truncated final trace batch")
+    _add_capture_flags(stm)
 
     rep = sub.add_parser("report", help="simulate years and print Table 1")
     rep.add_argument("--years", type=str, default="2015,2020,2024",
@@ -82,13 +132,11 @@ def _build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--days", type=int, default=14)
     rep.add_argument("--max-packets", type=int, default=250_000)
     rep.add_argument("--seed", type=int, default=7)
-    rep.add_argument("--workers", type=int, default=0,
-                     help="simulate years over N worker processes (0 = serial)")
-    rep.add_argument("--cache-dir", type=Path, default=None,
-                     help="content-addressed capture cache directory")
+    _add_worker_flags(rep)
 
     fpr = sub.add_parser("fingerprint", help="per-tool attribution of a capture")
-    fpr.add_argument("capture", type=Path)
+    fpr.add_argument("capture", type=Path, help=".rtrace/.pcap file or cache key")
+    _add_capture_flags(fpr)
 
     val = sub.add_parser(
         "validate",
@@ -98,21 +146,19 @@ def _build_parser() -> argparse.ArgumentParser:
     val.add_argument("--max-packets", type=int, default=100_000)
     val.add_argument("--seed", type=int, default=7)
     val.add_argument("--years", type=str, default="2015,2017,2020,2022,2024")
-    val.add_argument("--workers", type=int, default=0,
-                     help="simulate years over N worker processes (0 = serial)")
-    val.add_argument("--cache-dir", type=Path, default=None,
-                     help="content-addressed capture cache directory")
+    _add_worker_flags(val)
 
     anon = sub.add_parser(
         "anonymize",
         help="prefix-preserving source-address anonymisation of a capture",
     )
-    anon.add_argument("capture", type=Path, help="input .rtrace file")
+    anon.add_argument("capture", type=Path, help=".rtrace file or cache key")
     anon.add_argument("--out", type=Path, required=True)
     anon.add_argument("--key", type=int, required=True,
                       help="64-bit anonymisation key")
     anon.add_argument("--both-sides", action="store_true",
                       help="also anonymise destination addresses")
+    _add_capture_flags(anon)
 
     return parser
 
@@ -126,21 +172,63 @@ def _make_cache(args: argparse.Namespace):
     return CaptureCache(args.cache_dir)
 
 
-def _load_capture(path: Path):
-    """Read a capture plus its metadata from .rtrace or .pcap."""
+def _resolve_capture(args: argparse.Namespace) -> Path:
+    """Resolve a capture argument to a file, via the cache when needed.
+
+    A capture argument that is not an existing file is looked up in
+    ``--cache-dir`` as a content key (``repro-scan report --cache-dir X``
+    leaves its captures there), so analyses can be re-run straight off the
+    cache without knowing the file layout.
+    """
+    path: Path = args.capture
+    if path.exists():
+        return path
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir is not None:
+        candidate = Path(cache_dir) / f"{path.name}.rtrace"
+        if candidate.exists():
+            return candidate
+    raise FileNotFoundError(
+        f"capture {path} not found"
+        + (f" (also looked in cache {cache_dir})" if cache_dir else "")
+    )
+
+
+def _capture_source(args: argparse.Namespace, strict: bool = True):
+    """Build the streaming source for a subcommand's capture argument."""
+    path = _resolve_capture(args)
+    batch_size = getattr(args, "batch_size", None) or STREAM_DEFAULT_BATCH_SIZE
     if path.suffix == ".pcap":
-        return read_pcap(path), {}
-    batch, meta = read_trace(path)
-    return batch, meta
+        return BatchStreamSource(read_pcap(path), batch_size=batch_size)
+    return TraceStreamSource(path, batch_size=batch_size, strict=strict)
+
+
+def _load_capture(args: argparse.Namespace):
+    """Read a capture plus its metadata through the streaming reader.
+
+    The whole batch is still materialised (these subcommands are whole-
+    capture analyses), but the reads go through the same windowed front-end
+    as ``repro-scan stream``, so ``--batch-size`` bounds the read
+    granularity everywhere.
+    """
+    source = _capture_source(args)
+    batch = PacketBatch.concat(list(source.windows()))
+    return batch, source.meta
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     world = TelescopeWorld(rng=args.seed)
     cache = _make_cache(args)
-    sim = world.simulate_year(
-        args.year, days=args.days, max_packets=args.max_packets,
-        min_scans=args.min_scans, cache=cache,
-    )
+    if args.workers > 0:
+        sim = world.simulate_years(
+            [args.year], days=args.days, max_packets=args.max_packets,
+            min_scans=args.min_scans, workers=args.workers, cache=cache,
+        )[args.year]
+    else:
+        sim = world.simulate_year(
+            args.year, days=args.days, max_packets=args.max_packets,
+            min_scans=args.min_scans, cache=cache,
+        )
     if cache is not None:
         print(cache.stats_line(), file=sys.stderr)
     meta = {
@@ -162,7 +250,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    batch, meta = _load_capture(args.capture)
+    batch, meta = _load_capture(args)
     year = args.year if args.year is not None else meta.get("year")
     days = args.days if args.days is not None else meta.get("days")
     if year is None or days is None:
@@ -213,11 +301,57 @@ def _cmd_report(args: argparse.Namespace) -> int:
     print(render_table1(
         summaries, scale_note="(simulation scale; volumes not projected)"
     ))
+    print(f"peak RSS {format_bytes(peak_rss_bytes())}", file=sys.stderr)
+    return 0
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    try:
+        config = StreamConfig(
+            batch_size=args.batch_size or STREAM_DEFAULT_BATCH_SIZE,
+            window_s=args.window_s,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+            strict=not args.tolerate_truncation,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    source = _capture_source(args, strict=config.strict)
+
+    progress = None
+    if args.progress_every > 0:
+        every = args.progress_every
+
+        def progress(stats):
+            if stats.windows % every == 0:
+                print(stats.progress_line(), file=sys.stderr)
+
+    engine = StreamEngine(config=config)
+    result = engine.run(source, progress=progress)
+    if result.resumed:
+        print(f"resumed from checkpoint past "
+              f"{result.stats.resumed_packets:,} packets", file=sys.stderr)
+    if result.truncated_source:
+        print("note: capture was truncated; partial final batch dropped",
+              file=sys.stderr)
+    print(result.stats.summary_line())
+    table = result.scans
+    print(f"identified {len(table):,} scan(s), "
+          f"{int(table.packets.sum()):,} scan packets, "
+          f"{result.stats.sessions_discarded:,} session(s) below criteria")
+    if result.checkpoint_path is not None:
+        print(f"checkpoint: {result.checkpoint_path}", file=sys.stderr)
+    if args.stats_json is not None:
+        import json
+
+        args.stats_json.write_text(json.dumps(result.stats.to_dict(), indent=2))
+        print(f"stats written to {args.stats_json}", file=sys.stderr)
     return 0
 
 
 def _cmd_fingerprint(args: argparse.Namespace) -> int:
-    batch, meta = _load_capture(args.capture)
+    batch, meta = _load_capture(args)
     if len(batch) == 0:
         print("capture is empty", file=sys.stderr)
         return 1
@@ -254,11 +388,12 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         print(cache.stats_line(), file=sys.stderr)
     checks = validate_reproduction(analyses, sims)
     print(render_scorecard(checks))
+    print(f"peak RSS {format_bytes(peak_rss_bytes())}", file=sys.stderr)
     return 0 if all(c.passed for c in checks) else 1
 
 
 def _cmd_anonymize(args: argparse.Namespace) -> int:
-    batch, meta = read_trace(args.capture)
+    batch, meta = _load_capture(args)
     try:
         anonymizer = PrefixPreservingAnonymizer(args.key)
     except ValueError as exc:
@@ -275,6 +410,7 @@ def _cmd_anonymize(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "analyze": _cmd_analyze,
+    "stream": _cmd_stream,
     "report": _cmd_report,
     "fingerprint": _cmd_fingerprint,
     "anonymize": _cmd_anonymize,
@@ -287,6 +423,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except BrokenPipeError:
         # Output piped into a pager/head that closed early — not an error.
         try:

@@ -425,6 +425,66 @@ def _grouped_port_profile(
     return port_sets, _first_max_per_group(g, v, cnts)
 
 
+def score_sessions(
+    times: np.ndarray,
+    dsts: np.ndarray,
+    offsets: np.ndarray,
+    counts: np.ndarray,
+    criteria: CampaignCriteria,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-session ``(start, end, sequential, internet_rate)`` arrays.
+
+    ``times``/``dsts`` hold the time-ordered packets of all sessions back to
+    back (``dsts`` already as float64); ``offsets``/``counts`` delimit the
+    sessions.  Every statistic is segment-local — nothing crosses session
+    boundaries — so scoring the same session in a different grouping (the
+    whole capture at once, or window-by-window as sessions finalise in
+    ``repro.stream``) yields bit-identical values.  Both the batch and the
+    incremental identifier go through this function for exactly that reason.
+    """
+    start = times[offsets]
+    end = times[offsets + counts - 1]
+    d_min = np.minimum.reduceat(dsts, offsets)
+    d_max = np.maximum.reduceat(dsts, offsets)
+    r, var_t, var_d = _session_correlation(times, dsts, offsets, counts)
+    correlated = (var_t > 0) & (var_d > 0)
+
+    sequential = (
+        (counts >= SEQUENTIAL_MIN_PACKETS)
+        & correlated
+        & (np.abs(r) >= SEQUENTIAL_CORR_THRESHOLD)
+    )
+
+    # Random-permutation model: telescope-fraction extrapolation, 1 s floor.
+    rate_random = criteria.internet_rate(counts / np.maximum(end - start, 1.0))
+    # Sequential model: address-space velocity over the crossing, with only
+    # a numerical duration floor (sub-second crossings are legitimate).
+    span = d_max - d_min + 1.0
+    monitored_in_span = criteria.telescope_size * np.minimum(
+        1.0, span / criteria.telescope_extent
+    )
+    seq_defined = (span > 1.0) & (monitored_in_span >= 1.0)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        rate_sweep = (
+            counts * span / (monitored_in_span * np.maximum(end - start, 1e-3))
+        )
+    rate_sweep = np.where(seq_defined, rate_sweep, rate_random)
+    rate = np.where(sequential, rate_sweep, rate_random)
+
+    # Burst re-examination: implausibly fast "random" sessions whose
+    # time↔address correlation is weak but present are reclassified as
+    # sweeps crossing faster than the timestamp jitter.
+    burst = (
+        ~sequential
+        & (rate > BURST_SUSPECT_RATE_PPS)
+        & correlated
+        & (np.abs(r) >= BURST_SUSPECT_CORR)
+    )
+    sequential = sequential | burst
+    rate = np.where(burst, rate_sweep, rate)
+    return start, end, sequential, rate
+
+
 def identify_scans(
     batch: PacketBatch,
     criteria: Optional[CampaignCriteria] = None,
@@ -495,53 +555,12 @@ def identify_scans(
     if not np.any(keep):
         return ScanTable.empty()
 
-    # -- per-session statistics over candidate packets --------------------
+    # -- per-session statistics over candidate packets (shared scorer) -----
     t_c = time_s[cand_packets]
     d_c = sub_dst.astype(np.float64)
-    start_c = t_c[c_offsets]
-    end_c = t_c[c_offsets + c_counts - 1]
-    d_min = np.minimum.reduceat(d_c, c_offsets)
-    d_max = np.maximum.reduceat(d_c, c_offsets)
-    r, var_t, var_d = _session_correlation(t_c, d_c, c_offsets, c_counts)
-    correlated = (var_t > 0) & (var_d > 0)
-
-    sequential = (
-        (c_counts >= SEQUENTIAL_MIN_PACKETS)
-        & correlated
-        & (np.abs(r) >= SEQUENTIAL_CORR_THRESHOLD)
+    start_c, end_c, sequential, rate = score_sessions(
+        t_c, d_c, c_offsets, c_counts, criteria
     )
-
-    # -- rate estimation (vectorised estimate_internet_rate) ---------------
-    # Random-permutation model: telescope-fraction extrapolation, 1 s floor.
-    rate_random = criteria.internet_rate(
-        c_counts / np.maximum(end_c - start_c, 1.0)
-    )
-    # Sequential model: address-space velocity over the crossing, with only
-    # a numerical duration floor (sub-second crossings are legitimate).
-    span = d_max - d_min + 1.0
-    monitored_in_span = criteria.telescope_size * np.minimum(
-        1.0, span / criteria.telescope_extent
-    )
-    seq_defined = (span > 1.0) & (monitored_in_span >= 1.0)
-    with np.errstate(invalid="ignore", divide="ignore"):
-        rate_sweep = (
-            c_counts * span
-            / (monitored_in_span * np.maximum(end_c - start_c, 1e-3))
-        )
-    rate_sweep = np.where(seq_defined, rate_sweep, rate_random)
-    rate = np.where(sequential, rate_sweep, rate_random)
-
-    # Burst re-examination: implausibly fast "random" sessions whose
-    # time↔address correlation is weak but present are reclassified as
-    # sweeps crossing faster than the timestamp jitter.
-    burst = (
-        ~sequential
-        & (rate > BURST_SUSPECT_RATE_PPS)
-        & correlated
-        & (np.abs(r) >= BURST_SUSPECT_CORR)
-    )
-    sequential = sequential | burst
-    rate = np.where(burst, rate_sweep, rate)
 
     keep &= rate >= criteria.min_rate_pps
     if not np.any(keep):

@@ -1,0 +1,50 @@
+"""repro.stream — streaming ingestion and incremental analysis.
+
+Turns the batch pipeline into a bounded-memory, resumable one: chunked
+ingestion over ``.rtrace`` captures (:mod:`~repro.stream.source`), an
+incremental scan identifier stream-equivalent to batch ``identify_scans``
+(:mod:`~repro.stream.incremental`), durable content-addressed checkpoints
+(:mod:`~repro.stream.checkpoint`), and a live progress/stats surface
+(:mod:`~repro.stream.stats`), all orchestrated by
+:class:`~repro.stream.engine.StreamEngine`.
+"""
+
+from repro.stream.checkpoint import STREAM_SCHEMA_VERSION, CheckpointStore
+from repro.stream.engine import (
+    StreamConfig,
+    StreamEngine,
+    StreamResult,
+    as_stream_source,
+    identify_scans_stream,
+)
+from repro.stream.incremental import IncrementalScanIdentifier, StreamOrderError
+from repro.stream.source import (
+    DEFAULT_BATCH_SIZE,
+    BatchStreamSource,
+    IterStreamSource,
+    StreamSource,
+    TraceStreamSource,
+    rebatch,
+)
+from repro.stream.stats import StreamStats, format_bytes, peak_rss_bytes
+
+__all__ = [
+    "STREAM_SCHEMA_VERSION",
+    "CheckpointStore",
+    "StreamConfig",
+    "StreamEngine",
+    "StreamResult",
+    "as_stream_source",
+    "identify_scans_stream",
+    "IncrementalScanIdentifier",
+    "StreamOrderError",
+    "DEFAULT_BATCH_SIZE",
+    "BatchStreamSource",
+    "IterStreamSource",
+    "StreamSource",
+    "TraceStreamSource",
+    "rebatch",
+    "StreamStats",
+    "format_bytes",
+    "peak_rss_bytes",
+]

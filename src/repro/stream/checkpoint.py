@@ -1,0 +1,145 @@
+"""Durable checkpoints for the streaming engine.
+
+A checkpoint is the full :class:`~repro.stream.incremental.IncrementalScanIdentifier`
+state after some prefix of committed windows — open-session buffers,
+finalised records, and the consumed-packet counter — serialised to one
+``.npz`` file.  A killed run resumes by restoring the newest checkpoint and
+asking the source to skip the packets it already consumed; memoryless
+re-batching (see :mod:`repro.stream.source`) guarantees the resumed window
+sequence matches the original one exactly.
+
+Like :class:`repro.exec.cache.CaptureCache`, entries are content-addressed:
+the key digests everything that determines the stream's behaviour (source
+identity, campaign criteria, fingerprinter settings, batching parameters,
+schema/library version), so a checkpoint can never be replayed against a
+different capture or configuration.  Writes are atomic (temp file +
+``os.replace``); a crash mid-save leaves the previous checkpoint intact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+import numpy as np
+
+from repro import __version__
+from repro.core.campaigns import CampaignCriteria
+from repro.core.fingerprints import ToolFingerprinter
+from repro.exec.cache import _canonical
+
+#: Bump when the snapshot array layout changes; stale checkpoints are then
+#: ignored (the stream simply restarts from the beginning).
+STREAM_SCHEMA_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+class CheckpointStore:
+    """A directory of content-addressed streaming checkpoints."""
+
+    def __init__(self, root: PathLike):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- keys ---------------------------------------------------------------
+
+    def key_for(
+        self,
+        source_identity: Dict[str, Any],
+        criteria: CampaignCriteria,
+        fingerprinter: ToolFingerprinter,
+        batch_size: Optional[int],
+        window_s: Optional[float],
+    ) -> str:
+        """Content key of one (capture, configuration) streaming run.
+
+        The batching parameters are part of the key because they shape the
+        window sequence, and a restored run must replay the exact windows
+        the checkpointed run saw.
+        """
+        material = {
+            "schema": STREAM_SCHEMA_VERSION,
+            "version": __version__,
+            "source": _canonical(source_identity),
+            "criteria": _canonical(criteria),
+            "fingerprinter": {
+                "threshold": _canonical(fingerprinter.threshold),
+                "sample_limit": fingerprinter.sample_limit,
+            },
+            "batching": {
+                "batch_size": batch_size,
+                "window_s": _canonical(window_s),
+            },
+        }
+        blob = json.dumps(material, sort_keys=True).encode("utf-8")
+        return hashlib.blake2b(blob, digest_size=16).hexdigest()
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.stream.npz"
+
+    # -- save / load --------------------------------------------------------
+
+    def save(self, key: str, arrays: Dict[str, np.ndarray]) -> Path:
+        """Persist one snapshot under ``key`` (atomic replace)."""
+        path = self.path_for(key)
+        payload = dict(arrays)
+        payload["checkpoint_meta"] = np.array(
+            json.dumps({
+                "schema": STREAM_SCHEMA_VERSION,
+                "version": __version__,
+                "key": key,
+            }, sort_keys=True)
+        )
+        tmp = path.with_name(path.name + f".tmp{os.getpid()}.npz")
+        try:
+            with open(tmp, "wb") as fh:
+                np.savez(fh, **payload)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():  # pragma: no cover - only on write failure
+                tmp.unlink()
+        return path
+
+    def load(self, key: str) -> Optional[Dict[str, np.ndarray]]:
+        """Materialise the snapshot for ``key``, or ``None`` when absent.
+
+        A checkpoint written by a different schema/library version or
+        squatting on the wrong key is treated as a miss, not an error — the
+        caller just streams from the start.
+        """
+        path = self.path_for(key)
+        if not path.exists():
+            return None
+        with np.load(path, allow_pickle=False) as payload:
+            arrays = {name: payload[name] for name in payload.files}
+        meta_blob = arrays.pop("checkpoint_meta", None)
+        if meta_blob is None:
+            return None
+        try:
+            meta = json.loads(str(meta_blob))
+        except json.JSONDecodeError:
+            return None
+        if (
+            meta.get("schema") != STREAM_SCHEMA_VERSION
+            or meta.get("version") != __version__
+            or meta.get("key") != key
+        ):
+            return None
+        return arrays
+
+    # -- maintenance --------------------------------------------------------
+
+    def delete(self, key: str) -> bool:
+        """Drop the checkpoint for ``key`` (e.g. after a completed run)."""
+        path = self.path_for(key)
+        if path.exists():
+            path.unlink()
+            return True
+        return False
+
+    def entries(self) -> list:
+        return sorted(self.root.glob("*.stream.npz"))

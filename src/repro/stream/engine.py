@@ -1,0 +1,212 @@
+"""The streaming execution engine: source → windows → incremental scans.
+
+:class:`StreamEngine` wires the pieces together: it pulls bounded windows
+from a :class:`~repro.stream.source.StreamSource`, feeds them to an
+:class:`~repro.stream.incremental.IncrementalScanIdentifier`, persists
+durable checkpoints at a configurable cadence, and refreshes a
+:class:`~repro.stream.stats.StreamStats` snapshot for progress reporting.
+
+Checkpoint discipline: a snapshot is saved *after* the window that
+completes each cadence interval is committed, and *before* the progress
+callback fires — so however the process dies afterwards (including inside
+the callback), the newest checkpoint covers exactly the windows already
+reported.  A final snapshot lands before finalisation, which makes
+re-running a completed stream nearly free: resume skips every packet and
+finalisation replays from the restored state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Optional, Union
+
+from repro.core.campaigns import CampaignCriteria, ScanTable
+from repro.core.fingerprints import ToolFingerprinter
+from repro.stream.checkpoint import CheckpointStore
+from repro.stream.incremental import IncrementalScanIdentifier
+from repro.stream.source import (
+    DEFAULT_BATCH_SIZE,
+    BatchStreamSource,
+    IterStreamSource,
+    StreamSource,
+    TraceStreamSource,
+)
+from repro.stream.stats import StreamStats, peak_rss_bytes, wall_clock
+from repro.telescope.packet import PacketBatch
+
+ProgressCallback = Callable[[StreamStats], None]
+
+
+@dataclass
+class StreamConfig:
+    """Knobs of one streaming run."""
+
+    #: Maximum packets per window (None = native chunk sizes).
+    batch_size: Optional[int] = DEFAULT_BATCH_SIZE
+    #: Optional absolute-time alignment: windows never span a
+    #: ``floor(time / window_s)`` boundary.
+    window_s: Optional[float] = None
+    #: Directory for durable checkpoints (None disables checkpointing, as
+    #: does a source without a stable identity).
+    checkpoint_dir: Optional[Union[str, Path]] = None
+    #: Save a checkpoint every this many committed windows (plus one final
+    #: snapshot before finalisation).
+    checkpoint_every: int = 8
+    #: Tolerate a cleanly-truncated final trace batch (killed writer).
+    strict: bool = True
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+
+
+@dataclass
+class StreamResult:
+    """Everything a streaming run produced."""
+
+    scans: ScanTable
+    stats: StreamStats
+    #: True when the run restored a prior checkpoint instead of starting
+    #: from the first packet.
+    resumed: bool = False
+    #: Content key of the run's checkpoint (None when checkpointing was off).
+    checkpoint_key: Optional[str] = None
+    checkpoint_path: Optional[Path] = None
+    truncated_source: bool = field(default=False)
+
+
+class StreamEngine:
+    """Bounded-memory, resumable scan identification over packet streams."""
+
+    def __init__(
+        self,
+        criteria: Optional[CampaignCriteria] = None,
+        fingerprinter: Optional[ToolFingerprinter] = None,
+        config: Optional[StreamConfig] = None,
+    ):
+        self.criteria = criteria if criteria is not None else CampaignCriteria()
+        self.fingerprinter = (
+            fingerprinter if fingerprinter is not None else ToolFingerprinter()
+        )
+        self.config = config if config is not None else StreamConfig()
+
+    def run(
+        self,
+        source: StreamSource,
+        progress: Optional[ProgressCallback] = None,
+    ) -> StreamResult:
+        """Stream ``source`` to completion and return the scan table.
+
+        ``progress`` (when given) is invoked with the refreshed
+        :class:`StreamStats` after every committed window.
+        """
+        config = self.config
+        identifier = IncrementalScanIdentifier(self.criteria, self.fingerprinter)
+
+        store: Optional[CheckpointStore] = None
+        key: Optional[str] = None
+        resumed = False
+        if config.checkpoint_dir is not None:
+            identity = source.identity()
+            if identity is not None:
+                store = CheckpointStore(config.checkpoint_dir)
+                key = store.key_for(
+                    identity, self.criteria, self.fingerprinter,
+                    config.batch_size, config.window_s,
+                )
+                arrays = store.load(key)
+                if arrays is not None:
+                    identifier.restore(arrays)
+                    resumed = identifier.packets_consumed > 0
+
+        stats = StreamStats(resumed_packets=identifier.packets_consumed)
+        started = wall_clock()
+        self._refresh(stats, identifier, started)
+
+        windows_since_save = 0
+        for window in source.windows(skip_packets=identifier.packets_consumed):
+            identifier.consume(window)
+            windows_since_save += 1
+            if store is not None and windows_since_save >= config.checkpoint_every:
+                store.save(key, identifier.snapshot())
+                windows_since_save = 0
+            self._refresh(stats, identifier, started)
+            if progress is not None:
+                progress(stats)
+
+        checkpoint_path: Optional[Path] = None
+        if store is not None:
+            # Final snapshot before finalisation mutates the open sessions:
+            # a re-run resumes past every packet and replays finalisation
+            # from this state.
+            checkpoint_path = store.save(key, identifier.snapshot())
+        scans = identifier.finalize()
+        self._refresh(stats, identifier, started)
+        stats.scans = len(scans)
+        return StreamResult(
+            scans=scans,
+            stats=stats,
+            resumed=resumed,
+            checkpoint_key=key,
+            checkpoint_path=checkpoint_path,
+            truncated_source=getattr(source, "truncated", False),
+        )
+
+    @staticmethod
+    def _refresh(
+        stats: StreamStats, identifier: IncrementalScanIdentifier, started: float
+    ) -> None:
+        stats.packets = identifier.packets_consumed
+        stats.windows = identifier.windows_consumed
+        stats.open_sessions = identifier.open_sessions
+        stats.open_packets = identifier.open_packets
+        stats.candidate_sessions = identifier.candidate_sessions
+        stats.scans = identifier.scans_found
+        stats.sessions_discarded = identifier.sessions_discarded
+        stats.buffered_bytes = identifier.buffered_bytes
+        stats.wall_s = wall_clock() - started
+        stats.peak_rss_bytes = peak_rss_bytes()
+
+
+def as_stream_source(
+    capture: Union[StreamSource, PacketBatch, str, Path, Iterable[PacketBatch]],
+    batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
+    window_s: Optional[float] = None,
+    strict: bool = True,
+) -> StreamSource:
+    """Coerce common capture shapes into a :class:`StreamSource`."""
+    if isinstance(capture, StreamSource):
+        return capture
+    if isinstance(capture, PacketBatch):
+        return BatchStreamSource(capture, batch_size, window_s)
+    if isinstance(capture, (str, Path)):
+        return TraceStreamSource(capture, batch_size, window_s, strict=strict)
+    return IterStreamSource(capture, batch_size, window_s)
+
+
+def identify_scans_stream(
+    capture: Union[StreamSource, PacketBatch, str, Path, Iterable[PacketBatch]],
+    criteria: Optional[CampaignCriteria] = None,
+    fingerprinter: Optional[ToolFingerprinter] = None,
+    batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
+    window_s: Optional[float] = None,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> ScanTable:
+    """Streaming drop-in for :func:`repro.core.campaigns.identify_scans`.
+
+    Produces a column-by-column identical :class:`ScanTable` at any batch
+    size; see :mod:`repro.stream.incremental` for why.
+    """
+    source = as_stream_source(capture, batch_size, window_s)
+    engine = StreamEngine(
+        criteria,
+        fingerprinter,
+        StreamConfig(
+            batch_size=batch_size,
+            window_s=window_s,
+            checkpoint_dir=checkpoint_dir,
+        ),
+    )
+    return engine.run(source, progress=progress).scans

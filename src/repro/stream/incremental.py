@@ -1,0 +1,549 @@
+"""Incremental scan identification: the streaming ``identify_scans``.
+
+:class:`IncrementalScanIdentifier` consumes time-ordered packet windows one
+at a time and maintains a mergeable per-source *session accumulator*; a
+session finalises once its idle gap exceeds the campaign criteria (or the
+stream ends) and is then scored through the exact same
+:func:`repro.core.campaigns.score_sessions` math as the batch path.
+
+Why the result is column-by-column **identical** to batch
+:func:`~repro.core.campaigns.identify_scans` at any window size:
+
+* Captures are time-ordered (``Telescope.observe`` sorts; the engine
+  enforces a monotone watermark), so appending each window's per-source,
+  time-sorted packet runs reproduces the batch path's global
+  ``lexsort((time, src_ip))`` order, including its stable tie-breaks.
+* Session boundaries depend only on per-source inter-packet gaps, which
+  windowing never changes.
+* Every per-session statistic in :func:`score_sessions` is segment-local,
+  so scoring sessions in finalisation groups (rather than all at once)
+  yields bit-identical floats; ports/modes/fingerprints are computed from
+  exact tallies and first-*k* buffers that match the batch definitions.
+
+Memory model: open sessions buffer their own packets (times/destinations as
+column copies, ports as an exact count tally, header and fingerprint fields
+only up to their first-64 / sample-limit prefixes).  The idle-gap expiry
+continuously retires quiet sources, so the working set is bounded by the
+traffic active within one expiry window — independent of capture length.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.campaigns import CampaignCriteria, ScanTable, score_sessions
+from repro.core.fingerprints import ToolFingerprinter
+from repro.scanners.base import Tool
+from repro.telescope.packet import PacketBatch
+
+#: Header-quirk modes use each session's first 64 packets (batch parity).
+_HEAD_LIMIT = 64
+
+
+class StreamOrderError(ValueError):
+    """Raised when a window's packets precede the stream's watermark.
+
+    The incremental identifier requires a time-ordered stream (all telescope
+    captures are; ``Telescope.observe`` sorts).  Out-of-order input would
+    silently desynchronise session boundaries from the batch path, so it is
+    rejected loudly instead.
+    """
+
+
+class _SessionState:
+    """Mergeable accumulator for one source's open session."""
+
+    __slots__ = (
+        "src", "count", "last_time", "times", "dsts", "dst_set",
+        "ports", "port_counts", "head_window", "head_ttl", "head_count",
+        "fp_cols", "fp_count", "buffered",
+    )
+
+    def __init__(self, src: int):
+        self.src = src
+        self.count = 0
+        self.last_time = 0.0
+        #: Chunked column buffers (copies, so window arrays are not pinned).
+        self.times: List[np.ndarray] = []
+        self.dsts: List[np.ndarray] = []
+        #: Exact distinct-destination sketch: a sorted-unique merge.  Kept
+        #: incrementally so live stats can count candidate sessions and
+        #: finalisation needs no full-buffer unique pass.
+        self.dst_set = np.array([], dtype=np.uint32)
+        #: Exact port tally (sorted distinct ports + multiplicities).
+        self.ports = np.array([], dtype=np.int64)
+        self.port_counts = np.array([], dtype=np.int64)
+        self.head_window: List[np.ndarray] = []
+        self.head_ttl: List[np.ndarray] = []
+        self.head_count = 0
+        #: First sample-limit packets of (ip_id, seq, dst_ip, dst_port,
+        #: src_port) for tool fingerprinting.
+        self.fp_cols: Tuple[List[np.ndarray], ...] = ([], [], [], [], [])
+        self.fp_count = 0
+        self.buffered = 0
+
+    def append(
+        self,
+        times: np.ndarray,
+        dsts: np.ndarray,
+        ports: np.ndarray,
+        windows: np.ndarray,
+        ttls: np.ndarray,
+        fp_slices: Tuple[np.ndarray, ...],
+        fp_limit: int,
+    ) -> int:
+        """Merge one time-ordered packet run; returns buffered-byte delta."""
+        n = times.size
+        t = times.copy()
+        d = dsts.copy()
+        self.times.append(t)
+        self.dsts.append(d)
+        delta = t.nbytes + d.nbytes
+
+        self.dst_set = np.union1d(self.dst_set, d)
+
+        u, c = np.unique(ports.astype(np.int64), return_counts=True)
+        if self.ports.size == 0:
+            self.ports, self.port_counts = u, c
+        else:
+            allp = np.concatenate([self.ports, u])
+            allc = np.concatenate([self.port_counts, c])
+            order = np.argsort(allp, kind="stable")
+            allp, allc = allp[order], allc[order]
+            firsts = np.flatnonzero(
+                np.concatenate(([True], allp[1:] != allp[:-1]))
+            )
+            self.ports = allp[firsts]
+            self.port_counts = np.add.reduceat(allc, firsts)
+
+        if self.head_count < _HEAD_LIMIT:
+            take = min(_HEAD_LIMIT - self.head_count, n)
+            w = windows[:take].copy()
+            tt = ttls[:take].copy()
+            self.head_window.append(w)
+            self.head_ttl.append(tt)
+            self.head_count += take
+            delta += w.nbytes + tt.nbytes
+        if self.fp_count < fp_limit:
+            take = min(fp_limit - self.fp_count, n)
+            for store, col in zip(self.fp_cols, fp_slices):
+                piece = col[:take].copy()
+                store.append(piece)
+                delta += piece.nbytes
+            self.fp_count += take
+
+        self.count += n
+        self.last_time = float(times[n - 1])
+        self.buffered += delta
+        return delta
+
+
+class IncrementalScanIdentifier:
+    """Streaming equivalent of :func:`repro.core.campaigns.identify_scans`.
+
+    Feed time-ordered windows to :meth:`consume`; call :meth:`finalize` once
+    the stream ends to retire the remaining open sessions and obtain the
+    :class:`ScanTable`.  State between windows is exposed via
+    :meth:`snapshot` / :meth:`restore` for durable checkpoints.
+    """
+
+    def __init__(
+        self,
+        criteria: Optional[CampaignCriteria] = None,
+        fingerprinter: Optional[ToolFingerprinter] = None,
+    ):
+        self.criteria = criteria if criteria is not None else CampaignCriteria()
+        self.fingerprinter = (
+            fingerprinter if fingerprinter is not None else ToolFingerprinter()
+        )
+        self._open: Dict[int, _SessionState] = {}
+        self.packets_consumed = 0
+        self.windows_consumed = 0
+        self.watermark = float("-inf")
+        self.sessions_discarded = 0
+        self.buffered_bytes = 0
+        # Columnar store of finalised scans (sorted into table order at the
+        # very end; completion order is irrelevant after that sort).
+        self._rec_src: List[int] = []
+        self._rec_start: List[float] = []
+        self._rec_end: List[float] = []
+        self._rec_packets: List[int] = []
+        self._rec_distinct: List[int] = []
+        self._rec_port_sets: List[np.ndarray] = []
+        self._rec_primary: List[int] = []
+        self._rec_tool: List[Tool] = []
+        self._rec_match: List[float] = []
+        self._rec_speed: List[float] = []
+        self._rec_coverage: List[float] = []
+        self._rec_sequential: List[bool] = []
+        self._rec_window: List[int] = []
+        self._rec_ttl: List[int] = []
+
+    # -- live gauges --------------------------------------------------------
+
+    @property
+    def open_sessions(self) -> int:
+        return len(self._open)
+
+    @property
+    def open_packets(self) -> int:
+        return sum(state.count for state in self._open.values())
+
+    @property
+    def candidate_sessions(self) -> int:
+        """Open sessions already past the distinct-destination threshold."""
+        threshold = self.criteria.min_distinct_dsts
+        return sum(
+            1 for state in self._open.values() if state.dst_set.size >= threshold
+        )
+
+    @property
+    def scans_found(self) -> int:
+        return len(self._rec_src)
+
+    # -- streaming ----------------------------------------------------------
+
+    def consume(self, batch: PacketBatch) -> None:
+        """Ingest one window (a contiguous, time-ordered stream slice)."""
+        self.windows_consumed += 1
+        n = len(batch)
+        if n == 0:
+            return
+        expiry = self.criteria.expiry_s
+        t = batch.time
+        tmin = float(t.min())
+        if self.packets_consumed and tmin < self.watermark:
+            raise StreamOrderError(
+                f"window starts at t={tmin:.6f}, before the stream watermark "
+                f"{self.watermark:.6f}; the incremental identifier needs a "
+                f"time-ordered stream"
+            )
+
+        # Window-local grouping: identical to the batch path's global
+        # lexsort restricted to this window (stable tie-breaks and all).
+        order = np.lexsort((t, batch.src_ip))
+        s_o = batch.src_ip[order]
+        t_o = batch.time[order]
+        d_o = batch.dst_ip[order]
+        p_o = batch.dst_port[order]
+        w_o = batch.window[order]
+        ttl_o = batch.ttl[order]
+        ipid_o = batch.ip_id[order]
+        seq_o = batch.seq[order]
+        sp_o = batch.src_port[order]
+
+        starts = np.flatnonzero(np.concatenate(([True], s_o[1:] != s_o[:-1])))
+        ends = np.append(starts[1:], n)
+        min_packets = self.criteria.min_distinct_dsts
+        fp_limit = self.fingerprinter.sample_limit
+        pending: List[_SessionState] = []
+
+        for b, e in zip(starts, ends):
+            src = int(s_o[b])
+            times_g = t_o[b:e]
+            if e - b > 1:
+                cuts = np.flatnonzero(np.diff(times_g) > expiry) + 1
+                bounds = np.concatenate(([0], cuts, [e - b]))
+            else:
+                bounds = np.array([0, 1], dtype=np.int64)
+            n_segments = bounds.size - 1
+            state = self._open.get(src)
+            for j in range(n_segments):
+                a0, a1 = int(bounds[j]) + b, int(bounds[j + 1]) + b
+                if (
+                    state is not None
+                    and float(t_o[a0]) - state.last_time > expiry
+                ):
+                    self._retire(state, pending)
+                    state = None
+                last_segment = j == n_segments - 1
+                if state is None:
+                    # A segment known-complete within this window that is too
+                    # small to have enough distinct destinations can be
+                    # dropped without ever building a state (the batch
+                    # path's cheap prefilter, applied eagerly).
+                    if not last_segment and a1 - a0 < min_packets:
+                        self.sessions_discarded += 1
+                        continue
+                    state = _SessionState(src)
+                self.buffered_bytes += state.append(
+                    t_o[a0:a1], d_o[a0:a1], p_o[a0:a1], w_o[a0:a1],
+                    ttl_o[a0:a1],
+                    (ipid_o[a0:a1], seq_o[a0:a1], d_o[a0:a1], p_o[a0:a1],
+                     sp_o[a0:a1]),
+                    fp_limit,
+                )
+                if not last_segment:
+                    self._retire(state, pending)
+                    state = None
+            if state is not None:
+                self._open[src] = state
+            else:
+                self._open.pop(src, None)
+
+        # Watermark finalisation: future packets can only arrive at or after
+        # this window's maximum time, so a source idle for more than the
+        # expiry gap can never extend its session again.
+        self.watermark = max(self.watermark, float(t.max()))
+        expired = [
+            src for src, state in self._open.items()
+            if self.watermark - state.last_time > expiry
+        ]
+        for src in expired:
+            self._retire(self._open.pop(src), pending)
+
+        self.packets_consumed += n
+        if pending:
+            self._commit(pending)
+
+    def finalize(self) -> ScanTable:
+        """Retire every remaining open session and build the scan table.
+
+        The records are sorted by (source, start time), which is exactly the
+        session order the batch path's ``lexsort((time, src_ip))`` produces.
+        """
+        pending: List[_SessionState] = []
+        for src in list(self._open):
+            self._retire(self._open.pop(src), pending)
+        if pending:
+            self._commit(pending)
+        if not self._rec_src:
+            return ScanTable.empty()
+        src = np.array(self._rec_src, dtype=np.uint32)
+        start = np.array(self._rec_start, dtype=float)
+        order = np.lexsort((start, src))
+        return ScanTable(
+            src_ip=src[order],
+            start=start[order],
+            end=np.array(self._rec_end, dtype=float)[order],
+            packets=np.array(self._rec_packets, dtype=np.int64)[order],
+            distinct_dsts=np.array(self._rec_distinct, dtype=np.int64)[order],
+            port_sets=[self._rec_port_sets[i] for i in order],
+            primary_port=np.array(self._rec_primary, dtype=np.uint16)[order],
+            tool=np.array(self._rec_tool, dtype=object)[order],
+            match_fraction=np.array(self._rec_match, dtype=float)[order],
+            speed_pps=np.array(self._rec_speed, dtype=float)[order],
+            coverage=np.array(self._rec_coverage, dtype=float)[order],
+            sequential=np.array(self._rec_sequential, dtype=bool)[order],
+            window_mode=np.array(self._rec_window, dtype=np.uint16)[order],
+            ttl_mode=np.array(self._rec_ttl, dtype=np.uint8)[order],
+        )
+
+    # -- internals ----------------------------------------------------------
+
+    def _retire(
+        self, state: _SessionState, pending: List[_SessionState]
+    ) -> None:
+        """Close a session: queue it for scoring, or drop it outright."""
+        self.buffered_bytes -= state.buffered
+        threshold = self.criteria.min_distinct_dsts
+        if state.count >= threshold and state.dst_set.size >= threshold:
+            pending.append(state)
+        else:
+            self.sessions_discarded += 1
+
+    def _commit(self, pending: List[_SessionState]) -> None:
+        """Score a group of closed candidate sessions (batch-exact)."""
+        counts = np.array([state.count for state in pending], dtype=np.int64)
+        offsets = np.concatenate(
+            ([0], np.cumsum(counts)[:-1])
+        ).astype(np.int64)
+        times = np.concatenate(
+            [chunk for state in pending for chunk in state.times]
+        )
+        dsts = np.concatenate(
+            [chunk for state in pending for chunk in state.dsts]
+        ).astype(np.float64)
+        start, end, sequential, rate = score_sessions(
+            times, dsts, offsets, counts, self.criteria
+        )
+        min_rate = self.criteria.min_rate_pps
+        for i, state in enumerate(pending):
+            if rate[i] < min_rate:
+                self.sessions_discarded += 1
+                continue
+            self._record(state, float(start[i]), float(end[i]),
+                         bool(sequential[i]), float(rate[i]))
+
+    def _record(
+        self,
+        state: _SessionState,
+        start: float,
+        end: float,
+        sequential: bool,
+        rate: float,
+    ) -> None:
+        distinct = int(state.dst_set.size)
+        head_window = np.concatenate(state.head_window)
+        head_ttl = np.concatenate(state.head_ttl)
+        windows, window_counts = np.unique(head_window, return_counts=True)
+        ttls, ttl_counts = np.unique(head_ttl, return_counts=True)
+        verdict = self.fingerprinter.fingerprint_arrays(
+            *(np.concatenate(chunks) for chunks in state.fp_cols)
+        )
+        self._rec_src.append(state.src)
+        self._rec_start.append(start)
+        self._rec_end.append(end)
+        self._rec_packets.append(state.count)
+        self._rec_distinct.append(distinct)
+        self._rec_port_sets.append(state.ports)
+        self._rec_primary.append(int(state.ports[int(np.argmax(state.port_counts))]))
+        self._rec_tool.append(verdict.tool)
+        self._rec_match.append(verdict.match_fraction)
+        self._rec_speed.append(rate)
+        self._rec_coverage.append(
+            min(1.0, distinct / self.criteria.telescope_size)
+        )
+        self._rec_sequential.append(sequential)
+        self._rec_window.append(int(windows[int(np.argmax(window_counts))]))
+        self._rec_ttl.append(int(ttls[int(np.argmax(ttl_counts))]))
+
+    # -- checkpoint state ----------------------------------------------------
+
+    def snapshot(self) -> Dict[str, np.ndarray]:
+        """Serialise the full mid-stream state into flat numpy arrays.
+
+        Variable-length per-session data (buffers, tallies) is stored as
+        concatenated value arrays plus ``int64`` offset arrays of length
+        ``n_sessions + 1``; the finalised records the same way.  The result
+        round-trips through ``np.savez`` untouched.
+        """
+        states = list(self._open.values())
+
+        def offsets_of(sizes: List[int]) -> np.ndarray:
+            return np.concatenate(([0], np.cumsum(sizes))).astype(np.int64)
+
+        def cat(chunks: List[np.ndarray], dtype) -> np.ndarray:
+            if not chunks:
+                return np.array([], dtype=dtype)
+            return np.concatenate(chunks).astype(dtype, copy=False)
+
+        fp_chunks: Tuple[List[np.ndarray], ...] = ([], [], [], [], [])
+        for state in states:
+            for store, chunks in zip(fp_chunks, state.fp_cols):
+                store.extend(chunks)
+        return {
+            "open_src": np.array([s.src for s in states], dtype=np.uint32),
+            "open_count": np.array([s.count for s in states], dtype=np.int64),
+            "open_last_time": np.array(
+                [s.last_time for s in states], dtype=np.float64
+            ),
+            "open_buf_offsets": offsets_of([s.count for s in states]),
+            "open_times": cat(
+                [c for s in states for c in s.times], np.float64
+            ),
+            "open_dsts": cat([c for s in states for c in s.dsts], np.uint32),
+            "open_ports_offsets": offsets_of([s.ports.size for s in states]),
+            "open_ports": cat([s.ports for s in states], np.int64),
+            "open_port_counts": cat(
+                [s.port_counts for s in states], np.int64
+            ),
+            "open_head_offsets": offsets_of([s.head_count for s in states]),
+            "open_head_window": cat(
+                [c for s in states for c in s.head_window], np.uint16
+            ),
+            "open_head_ttl": cat(
+                [c for s in states for c in s.head_ttl], np.uint8
+            ),
+            "open_fp_offsets": offsets_of([s.fp_count for s in states]),
+            "open_fp_ip_id": cat(fp_chunks[0], np.uint16),
+            "open_fp_seq": cat(fp_chunks[1], np.uint32),
+            "open_fp_dst_ip": cat(fp_chunks[2], np.uint32),
+            "open_fp_dst_port": cat(fp_chunks[3], np.uint16),
+            "open_fp_src_port": cat(fp_chunks[4], np.uint16),
+            "counters": np.array(
+                [self.packets_consumed, self.windows_consumed,
+                 self.sessions_discarded],
+                dtype=np.int64,
+            ),
+            "watermark": np.array([self.watermark], dtype=np.float64),
+            "rec_src": np.array(self._rec_src, dtype=np.uint32),
+            "rec_start": np.array(self._rec_start, dtype=np.float64),
+            "rec_end": np.array(self._rec_end, dtype=np.float64),
+            "rec_packets": np.array(self._rec_packets, dtype=np.int64),
+            "rec_distinct": np.array(self._rec_distinct, dtype=np.int64),
+            "rec_ports_offsets": offsets_of(
+                [ports.size for ports in self._rec_port_sets]
+            ),
+            "rec_ports": cat(list(self._rec_port_sets), np.int64),
+            "rec_primary": np.array(self._rec_primary, dtype=np.uint16),
+            "rec_tool": np.array(
+                [str(tool.value) for tool in self._rec_tool], dtype=np.str_
+            ),
+            "rec_match": np.array(self._rec_match, dtype=np.float64),
+            "rec_speed": np.array(self._rec_speed, dtype=np.float64),
+            "rec_coverage": np.array(self._rec_coverage, dtype=np.float64),
+            "rec_sequential": np.array(self._rec_sequential, dtype=bool),
+            "rec_window": np.array(self._rec_window, dtype=np.uint16),
+            "rec_ttl": np.array(self._rec_ttl, dtype=np.uint8),
+        }
+
+    def restore(self, arrays: Dict[str, np.ndarray]) -> None:
+        """Rebuild mid-stream state from a :meth:`snapshot` payload."""
+        self._open.clear()
+        self.buffered_bytes = 0
+        fp_limit = self.fingerprinter.sample_limit
+        src_arr = arrays["open_src"]
+        buf_off = arrays["open_buf_offsets"]
+        ports_off = arrays["open_ports_offsets"]
+        head_off = arrays["open_head_offsets"]
+        fp_off = arrays["open_fp_offsets"]
+        for i in range(src_arr.size):
+            state = _SessionState(int(src_arr[i]))
+            b0, b1 = int(buf_off[i]), int(buf_off[i + 1])
+            times = arrays["open_times"][b0:b1].copy()
+            dsts = arrays["open_dsts"][b0:b1].copy()
+            state.times = [times]
+            state.dsts = [dsts]
+            state.dst_set = np.unique(dsts)
+            p0, p1 = int(ports_off[i]), int(ports_off[i + 1])
+            state.ports = arrays["open_ports"][p0:p1].copy()
+            state.port_counts = arrays["open_port_counts"][p0:p1].copy()
+            h0, h1 = int(head_off[i]), int(head_off[i + 1])
+            head_window = arrays["open_head_window"][h0:h1].copy()
+            head_ttl = arrays["open_head_ttl"][h0:h1].copy()
+            state.head_window = [head_window]
+            state.head_ttl = [head_ttl]
+            state.head_count = h1 - h0
+            f0, f1 = int(fp_off[i]), int(fp_off[i + 1])
+            state.fp_cols = tuple(
+                [arrays[name][f0:f1].copy()]
+                for name in ("open_fp_ip_id", "open_fp_seq", "open_fp_dst_ip",
+                             "open_fp_dst_port", "open_fp_src_port")
+            )
+            state.fp_count = min(f1 - f0, fp_limit)
+            state.count = int(arrays["open_count"][i])
+            state.last_time = float(arrays["open_last_time"][i])
+            state.buffered = sum(
+                chunk.nbytes
+                for chunk in (times, dsts, head_window, head_ttl)
+            ) + sum(chunks[0].nbytes for chunks in state.fp_cols)
+            self.buffered_bytes += state.buffered
+            self._open[state.src] = state
+        counters = arrays["counters"]
+        self.packets_consumed = int(counters[0])
+        self.windows_consumed = int(counters[1])
+        self.sessions_discarded = int(counters[2])
+        self.watermark = float(arrays["watermark"][0])
+        rec_ports_off = arrays["rec_ports_offsets"]
+        self._rec_src = [int(v) for v in arrays["rec_src"]]
+        self._rec_start = [float(v) for v in arrays["rec_start"]]
+        self._rec_end = [float(v) for v in arrays["rec_end"]]
+        self._rec_packets = [int(v) for v in arrays["rec_packets"]]
+        self._rec_distinct = [int(v) for v in arrays["rec_distinct"]]
+        self._rec_port_sets = [
+            arrays["rec_ports"][
+                int(rec_ports_off[i]):int(rec_ports_off[i + 1])
+            ].copy()
+            for i in range(len(self._rec_src))
+        ]
+        self._rec_primary = [int(v) for v in arrays["rec_primary"]]
+        self._rec_tool = [Tool(str(v)) for v in arrays["rec_tool"]]
+        self._rec_match = [float(v) for v in arrays["rec_match"]]
+        self._rec_speed = [float(v) for v in arrays["rec_speed"]]
+        self._rec_coverage = [float(v) for v in arrays["rec_coverage"]]
+        self._rec_sequential = [bool(v) for v in arrays["rec_sequential"]]
+        self._rec_window = [int(v) for v in arrays["rec_window"]]
+        self._rec_ttl = [int(v) for v in arrays["rec_ttl"]]

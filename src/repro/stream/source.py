@@ -1,0 +1,231 @@
+"""Chunked ingestion front-ends for the streaming engine.
+
+A *stream source* turns a capture — an ``.rtrace`` file, a pcap, or an
+in-memory :class:`~repro.telescope.packet.PacketBatch` — into a sequence of
+bounded *windows*: contiguous slices of the packet stream, re-batched to a
+configurable packet budget and optionally aligned to wall-time boundaries.
+
+Re-batching is **memoryless across window boundaries**: the split points
+depend only on the packets after the previous boundary (a fill count that
+resets on every emit, and absolute-time buckets).  That property is what
+makes checkpoint resume exact — skipping the first *N* committed packets
+and re-batching the remainder reproduces the original window sequence.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Union
+
+import numpy as np
+
+from repro.telescope.packet import PacketBatch
+from repro.telescope.trace import MAGIC, TraceReader
+
+PathLike = Union[str, Path]
+
+#: Default window budget: large enough that per-window numpy passes dominate
+#: the Python orchestration, small enough to bound the working set.
+DEFAULT_BATCH_SIZE = 65_536
+
+
+def rebatch(
+    chunks: Iterable[PacketBatch],
+    batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
+    window_s: Optional[float] = None,
+) -> Iterator[PacketBatch]:
+    """Re-chunk a batch stream into windows of at most ``batch_size`` packets.
+
+    With ``window_s`` set, a window additionally never spans an absolute
+    time boundary (``floor(time / window_s)`` changes force a flush), which
+    assumes the stream is time-ordered — the engine enforces that anyway.
+    Empty windows are never emitted; input chunk boundaries are otherwise
+    invisible to the consumer.
+    """
+    if batch_size is not None and batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    if window_s is not None and window_s <= 0:
+        raise ValueError("window_s must be positive")
+
+    pending: List[PacketBatch] = []
+    pending_n = 0
+    pending_bucket: Optional[int] = None
+
+    def take(k: int) -> PacketBatch:
+        """Pop exactly ``k`` packets off the front of the pending queue."""
+        nonlocal pending, pending_n
+        out: List[PacketBatch] = []
+        got = 0
+        while got < k:
+            head = pending[0]
+            need = k - got
+            if len(head) <= need:
+                out.append(pending.pop(0))
+                got += len(head)
+            else:
+                out.append(head[:need])
+                pending[0] = head[need:]
+                got += need
+        pending_n -= k
+        return out[0] if len(out) == 1 else PacketBatch.concat(out)
+
+    def pieces_of(chunk: PacketBatch) -> Iterator[PacketBatch]:
+        """Split a chunk wherever its time bucket changes."""
+        if window_s is None or len(chunk) <= 1:
+            yield chunk
+            return
+        buckets = np.floor(chunk.time / window_s).astype(np.int64)
+        cuts = np.flatnonzero(buckets[1:] != buckets[:-1]) + 1
+        prev = 0
+        for cut in list(cuts) + [len(chunk)]:
+            if cut > prev:
+                yield chunk[prev:cut]
+            prev = cut
+
+    for chunk in chunks:
+        if len(chunk) == 0:
+            continue
+        for piece in pieces_of(chunk):
+            if window_s is not None:
+                bucket = int(np.floor(float(piece.time[0]) / window_s))
+                if pending_n and bucket != pending_bucket:
+                    yield take(pending_n)
+                pending_bucket = bucket
+            pending.append(piece)
+            pending_n += len(piece)
+            while batch_size is not None and pending_n >= batch_size:
+                yield take(batch_size)
+    if pending_n:
+        yield take(pending_n)
+
+
+class StreamSource:
+    """Base interface: windows of a capture, plus optional resume support."""
+
+    #: Capture metadata (the ``.rtrace`` JSON block where available).
+    meta: Dict[str, Any] = {}
+
+    def identity(self) -> Optional[Dict[str, Any]]:
+        """Stable description of the capture for checkpoint keying.
+
+        ``None`` means the source cannot be re-identified across processes
+        (e.g. an ad-hoc in-memory iterable), which disables checkpointing.
+        """
+        return None
+
+    def windows(self, skip_packets: int = 0) -> Iterator[PacketBatch]:
+        raise NotImplementedError
+
+
+class TraceStreamSource(StreamSource):
+    """Windows over an ``.rtrace`` capture, built on :class:`TraceReader`.
+
+    ``skip_packets`` fast-forwards with chunk-header seeks (checkpoint
+    resume), so a resumed run re-reads almost none of the committed bytes.
+    """
+
+    def __init__(
+        self,
+        path: PathLike,
+        batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
+        window_s: Optional[float] = None,
+        strict: bool = True,
+    ):
+        self.path = Path(path)
+        self.batch_size = batch_size
+        self.window_s = window_s
+        self.strict = strict
+        #: Mirrors ``TraceReader.truncated`` after a ``windows()`` pass.
+        self.truncated = False
+        with TraceReader(self.path, strict=strict) as reader:
+            self.meta = reader.meta
+
+    def identity(self) -> Optional[Dict[str, Any]]:
+        """Size plus a digest of the metadata block.
+
+        Cheap (no full-content read) yet specific enough that a different
+        capture squatting on the same path misses the checkpoint instead of
+        corrupting the resume.
+        """
+        import json
+
+        meta_blob = json.dumps(self.meta, sort_keys=True).encode("utf-8")
+        return {
+            "kind": "rtrace",
+            "size": self.path.stat().st_size,
+            "meta_blake2b": hashlib.blake2b(
+                MAGIC + meta_blob, digest_size=16
+            ).hexdigest(),
+        }
+
+    def windows(self, skip_packets: int = 0) -> Iterator[PacketBatch]:
+        with TraceReader(self.path, strict=self.strict) as reader:
+            chunks: Iterator[PacketBatch]
+            if skip_packets:
+                remainder = reader.skip_packets(skip_packets)
+                chunks = _chain_remainder(remainder, reader)
+            else:
+                chunks = iter(reader)
+            yield from rebatch(chunks, self.batch_size, self.window_s)
+            self.truncated = reader.truncated
+
+
+class BatchStreamSource(StreamSource):
+    """Windows over an in-memory batch (tests, library callers).
+
+    No stable cross-process identity, so checkpointing is unavailable;
+    ``skip_packets`` still works (in-process restarts, unit tests).
+    """
+
+    def __init__(
+        self,
+        batch: PacketBatch,
+        batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
+        window_s: Optional[float] = None,
+    ):
+        self._batch = batch
+        self.batch_size = batch_size
+        self.window_s = window_s
+        self.meta = {}
+
+    def windows(self, skip_packets: int = 0) -> Iterator[PacketBatch]:
+        if skip_packets > len(self._batch):
+            raise ValueError(
+                f"cannot skip {skip_packets} packets of a "
+                f"{len(self._batch)}-packet batch"
+            )
+        rest = self._batch[skip_packets:] if skip_packets else self._batch
+        yield from rebatch(iter([rest]), self.batch_size, self.window_s)
+
+
+class IterStreamSource(StreamSource):
+    """Windows over any one-shot batch iterable (pcap adapters, generators).
+
+    Single use: the underlying iterable is consumed by the first
+    ``windows()`` call.  Resume is unsupported (no identity, no skipping).
+    """
+
+    def __init__(
+        self,
+        batches: Iterable[PacketBatch],
+        batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
+        window_s: Optional[float] = None,
+    ):
+        self._batches = iter(batches)
+        self.batch_size = batch_size
+        self.window_s = window_s
+        self.meta = {}
+
+    def windows(self, skip_packets: int = 0) -> Iterator[PacketBatch]:
+        if skip_packets:
+            raise ValueError("IterStreamSource cannot skip packets")
+        yield from rebatch(self._batches, self.batch_size, self.window_s)
+
+
+def _chain_remainder(
+    remainder: PacketBatch, rest: Iterable[PacketBatch]
+) -> Iterator[PacketBatch]:
+    if len(remainder):
+        yield remainder
+    yield from rest

@@ -1,0 +1,121 @@
+"""Live progress/stats surface of the streaming engine.
+
+:class:`StreamStats` is a plain snapshot the engine refreshes after every
+committed window; consumers (the ``repro-scan stream`` CLI, tests, or any
+long-running service wrapping the engine) read it to answer "how fast, how
+much is buffered, how far along".  The helpers here are deliberately free of
+engine internals so ``report``/``validate`` reuse them for their own
+resource summaries.
+
+Wall-clock reads live behind :func:`wall_clock` — this is operational
+telemetry about the *process*, not simulation state, so it is exempt from
+the RPR001 determinism rule (nothing downstream of an analysis ever
+consumes these numbers).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+
+def wall_clock() -> float:
+    """Monotonic wall-clock seconds for throughput accounting."""
+    return time.perf_counter()  # repro-lint: disable=RPR001
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident-set size of this process in bytes (0 if unknown).
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; platforms
+    without the :mod:`resource` module report 0 rather than failing.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - macOS reports bytes
+        return int(peak)
+    return int(peak) * 1024
+
+
+def format_bytes(n: int) -> str:
+    """Human-readable byte count (``142.3 MB``)."""
+    value = float(n)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if value < 1024.0 or unit == "TB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024.0
+    return f"{value:.1f} TB"  # pragma: no cover - unreachable
+
+
+@dataclass
+class StreamStats:
+    """Counters describing one streaming run, refreshed per window."""
+
+    #: Packets consumed so far (including packets restored from a checkpoint).
+    packets: int = 0
+    #: Windows committed so far.
+    windows: int = 0
+    #: Packets skipped on resume because a checkpoint already covered them.
+    resumed_packets: int = 0
+    #: Sessions currently open (accumulating, not yet past the idle gap).
+    open_sessions: int = 0
+    #: Packets buffered inside open sessions.
+    open_packets: int = 0
+    #: Open sessions already past the distinct-destination threshold.
+    candidate_sessions: int = 0
+    #: Sessions finalised into scans.
+    scans: int = 0
+    #: Sessions finalised and discarded (below the campaign criteria).
+    sessions_discarded: int = 0
+    #: Bytes buffered by open-session accumulators (column copies only).
+    buffered_bytes: int = 0
+    #: Wall-clock seconds spent streaming (excludes skipped resume windows).
+    wall_s: float = 0.0
+    #: Peak resident-set size of the process, bytes.
+    peak_rss_bytes: int = field(default_factory=peak_rss_bytes)
+
+    @property
+    def packets_per_s(self) -> float:
+        """Consumption throughput over this run's wall time."""
+        fresh = self.packets - self.resumed_packets
+        return fresh / self.wall_s if self.wall_s > 0 else 0.0
+
+    def progress_line(self) -> str:
+        """One-line human rendering for live progress output."""
+        return (
+            f"w={self.windows} packets={self.packets:,} "
+            f"({self.packets_per_s:,.0f} pps) open={self.open_sessions:,} "
+            f"candidates={self.candidate_sessions:,} scans={self.scans:,} "
+            f"buffered={format_bytes(self.buffered_bytes)} "
+            f"rss={format_bytes(self.peak_rss_bytes)}"
+        )
+
+    def summary_line(self) -> str:
+        """One-line human rendering for end-of-run output."""
+        return (
+            f"{self.packets:,} packets in {self.windows} window(s), "
+            f"{self.scans:,} scan(s), {self.packets_per_s:,.0f} pps, "
+            f"peak RSS {format_bytes(self.peak_rss_bytes)}"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable snapshot (``--stats-json``, benchmarks)."""
+        return {
+            "packets": self.packets,
+            "windows": self.windows,
+            "resumed_packets": self.resumed_packets,
+            "open_sessions": self.open_sessions,
+            "open_packets": self.open_packets,
+            "candidate_sessions": self.candidate_sessions,
+            "scans": self.scans,
+            "sessions_discarded": self.sessions_discarded,
+            "buffered_bytes": self.buffered_bytes,
+            "wall_s": self.wall_s,
+            "packets_per_s": self.packets_per_s,
+            "peak_rss_bytes": self.peak_rss_bytes,
+        }

@@ -99,45 +99,145 @@ class TraceWriter:
             self._file = None
 
 
-class TraceReader:
-    """Streaming trace reader; iterates chunks as :class:`PacketBatch`."""
+#: Bytes per packet across all serialised columns (one row of a chunk).
+_ROW_BYTES = sum(np.dtype(dtype).itemsize for _, dtype in _COLUMN_ORDER)
 
-    def __init__(self, path: PathLike):
+
+class TraceReader:
+    """Streaming trace reader; iterates chunks as :class:`PacketBatch`.
+
+    ``strict=True`` (the default) raises :class:`TraceFormatError` on any
+    truncated or corrupt batch, reporting the byte offset and batch index of
+    the damage.  ``strict=False`` tolerates a cleanly-truncated final batch
+    — a writer killed mid-chunk — by dropping the partial batch and ending
+    the stream (``reader.truncated`` records that this happened).  Structural
+    damage before the chunks (bad magic, unreadable metadata) always raises.
+    """
+
+    def __init__(self, path: PathLike, strict: bool = True):
         self._path = Path(path)
+        self._strict = strict
+        self._offset = 0
+        self._batch_index = 0
         self.meta: Dict[str, Any] = {}
+        self.truncated = False
 
     def __enter__(self) -> "TraceReader":
         self._file = open(self._path, "rb")
         magic = self._file.read(len(MAGIC))
+        self._offset = len(magic)
         if magic != MAGIC:
             self._file.close()
             raise TraceFormatError(f"bad magic in {self._path}: {magic!r}")
-        (meta_len,) = struct.unpack("<I", self._read_exact(4))
-        self.meta = json.loads(self._read_exact(meta_len).decode("utf-8"))
+        (meta_len,) = struct.unpack("<I", self._read_exact(4, "metadata length"))
+        self.meta = json.loads(
+            self._read_exact(meta_len, "metadata block").decode("utf-8")
+        )
         return self
 
-    def _read_exact(self, count: int) -> bytes:
+    def _read_exact(self, count: int, context: str) -> bytes:
         data = self._file.read(count)
+        self._offset += len(data)
         if len(data) != count:
-            raise TraceFormatError(f"truncated trace file: {self._path}")
+            raise TraceFormatError(
+                f"truncated trace file {self._path}: short read of {context} "
+                f"at byte offset {self._offset} "
+                f"(batch {self._batch_index}, got {len(data)} of {count} bytes)"
+            )
         return data
 
-    def __iter__(self) -> Iterator[PacketBatch]:
-        while True:
-            header = self._file.read(4)
-            if len(header) == 0:
-                # Missing terminator: tolerate but treat as end of stream.
-                return
+    def _read_chunk(self) -> Optional[PacketBatch]:
+        """Read the next chunk, or ``None`` at end of stream.
+
+        In non-strict mode a truncated final chunk (including a partial
+        chunk header) ends the stream instead of raising.
+        """
+        header = self._file.read(4)
+        self._offset += len(header)
+        if len(header) == 0:
+            # Missing terminator: tolerate but treat as end of stream.
+            return None
+        try:
             if len(header) != 4:
-                raise TraceFormatError(f"truncated chunk header: {self._path}")
+                raise TraceFormatError(
+                    f"truncated trace file {self._path}: partial chunk header "
+                    f"at byte offset {self._offset} (batch {self._batch_index})"
+                )
             (count,) = struct.unpack("<I", header)
             if count == 0:
-                return
+                return None
             cols: Dict[str, np.ndarray] = {}
             for name, dtype in _COLUMN_ORDER:
                 nbytes = count * np.dtype(dtype).itemsize
-                cols[name] = np.frombuffer(self._read_exact(nbytes), dtype=dtype).copy()
-            yield PacketBatch(**cols)
+                cols[name] = np.frombuffer(
+                    self._read_exact(nbytes, f"column {name!r}"), dtype=dtype
+                ).copy()
+        except TraceFormatError:
+            if self._strict:
+                raise
+            # A short read on a regular file means EOF: the writer died
+            # mid-chunk.  Drop the partial batch and end the stream cleanly.
+            self.truncated = True
+            return None
+        self._batch_index += 1
+        return PacketBatch(**cols)
+
+    def skip_packets(self, count: int) -> PacketBatch:
+        """Advance past ``count`` packets with seeks; returns the remainder.
+
+        Whole chunks are skipped without deserialising them (a single seek
+        per chunk), so fast-forwarding a resumed stream costs almost no I/O.
+        When ``count`` lands inside a chunk, that chunk is read and the part
+        after the skip point is returned (possibly empty).  Raises
+        ``ValueError`` when the trace holds fewer than ``count`` packets.
+        """
+        if count < 0:
+            raise ValueError("cannot skip a negative packet count")
+        remaining = count
+        while remaining > 0:
+            header = self._file.read(4)
+            self._offset += len(header)
+            if len(header) == 0:
+                raise ValueError(
+                    f"cannot skip {count} packets: {self._path} ends "
+                    f"{remaining} packets short"
+                )
+            if len(header) != 4:
+                raise TraceFormatError(
+                    f"truncated trace file {self._path}: partial chunk header "
+                    f"at byte offset {self._offset} (batch {self._batch_index})"
+                )
+            (n,) = struct.unpack("<I", header)
+            if n == 0:
+                raise ValueError(
+                    f"cannot skip {count} packets: {self._path} ends "
+                    f"{remaining} packets short"
+                )
+            if n <= remaining:
+                self._file.seek(n * _ROW_BYTES, io.SEEK_CUR)
+                self._offset += n * _ROW_BYTES
+                self._batch_index += 1
+                remaining -= n
+                continue
+            # Skip point lands inside this chunk: rewind to its header and
+            # read it normally, then drop the consumed prefix.
+            self._file.seek(-4, io.SEEK_CUR)
+            self._offset -= 4
+            chunk = self._read_chunk()
+            if chunk is None:  # pragma: no cover - only on non-strict damage
+                raise ValueError(
+                    f"cannot skip {count} packets: {self._path} ends "
+                    f"{remaining} packets short"
+                )
+            return chunk[remaining:]
+        return PacketBatch.empty()
+
+    def __iter__(self) -> Iterator[PacketBatch]:
+        while True:
+            chunk = self._read_chunk()
+            if chunk is None:
+                return
+            yield chunk
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self._file.close()
@@ -169,14 +269,20 @@ def read_trace_meta(path: PathLike) -> Dict[str, Any]:
         return reader.meta
 
 
-def read_trace(path: PathLike) -> Tuple[PacketBatch, Dict[str, Any]]:
+def read_trace(
+    path: PathLike, strict: bool = True
+) -> Tuple[PacketBatch, Dict[str, Any]]:
     """Read a whole trace into memory; returns ``(batch, meta)``."""
-    with TraceReader(path) as reader:
+    with TraceReader(path, strict=strict) as reader:
         chunks = list(reader)
         return PacketBatch.concat(chunks), reader.meta
 
 
-def iter_trace(path: PathLike) -> Iterator[PacketBatch]:
-    """Iterate a trace chunk-by-chunk without loading it all."""
-    with TraceReader(path) as reader:
+def iter_trace(path: PathLike, strict: bool = True) -> Iterator[PacketBatch]:
+    """Iterate a trace chunk-by-chunk without loading it all.
+
+    This is the substrate of the streaming layer: ``repro.stream`` re-chunks
+    these native batches into fixed-size / time-aligned windows.
+    """
+    with TraceReader(path, strict=strict) as reader:
         yield from reader

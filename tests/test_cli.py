@@ -120,3 +120,76 @@ class TestAnonymize:
         out = tmp_path / "anon.rtrace"
         assert main(["anonymize", str(capture), "--out", str(out),
                      "--key", "-5"]) == 2
+
+
+class TestStream:
+    def test_stream_summary_and_stats(self, capture, tmp_path, capsys):
+        stats_json = tmp_path / "stats.json"
+        code = main([
+            "stream", str(capture), "--batch-size", "8192",
+            "--checkpoint-dir", str(tmp_path / "ckpt"),
+            "--progress-every", "1", "--stats-json", str(stats_json),
+        ])
+        assert code == 0
+        out = capsys.readouterr()
+        assert "identified" in out.out
+        assert "peak RSS" in out.out
+        assert "w=1" in out.err  # progress lines on stderr
+        import json
+        stats = json.loads(stats_json.read_text())
+        assert stats["packets"] > 10_000
+        assert stats["windows"] >= 2
+        assert stats["peak_rss_bytes"] > 0
+
+    def test_stream_matches_batch(self, capture, capsys):
+        assert main(["stream", str(capture), "--batch-size", "4096"]) == 0
+        streamed = capsys.readouterr().out
+        from repro.core.campaigns import identify_scans
+        batch, _ = read_trace(capture)
+        expected = identify_scans(batch)
+        assert f"identified {len(expected):,} scan(s)" in streamed
+
+    def test_stream_resumes(self, capture, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        assert main(["stream", str(capture), "--batch-size", "8192",
+                     "--checkpoint-dir", str(ckpt)]) == 0
+        capsys.readouterr()
+        assert main(["stream", str(capture), "--batch-size", "8192",
+                     "--checkpoint-dir", str(ckpt)]) == 0
+        assert "resumed from checkpoint" in capsys.readouterr().err
+
+    def test_missing_capture(self, tmp_path, capsys):
+        assert main(["stream", str(tmp_path / "missing.rtrace")]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_cache_key_resolution(self, capture, tmp_path, capsys):
+        # A capture argument that is not a file resolves through --cache-dir.
+        cache = tmp_path / "cache"
+        cache.mkdir()
+        (cache / "deadbeef.rtrace").write_bytes(capture.read_bytes())
+        assert main(["stream", "deadbeef", "--cache-dir", str(cache),
+                     "--batch-size", "8192"]) == 0
+        assert "identified" in capsys.readouterr().out
+
+
+class TestFlagParity:
+    def test_capture_commands_accept_shared_flags(self, capture, tmp_path):
+        # --workers/--cache-dir/--batch-size parse on every capture loader.
+        assert main(["analyze", str(capture), "--workers", "0",
+                     "--cache-dir", str(tmp_path / "c1"),
+                     "--batch-size", "4096"]) == 0
+        assert main(["fingerprint", str(capture), "--workers", "0",
+                     "--cache-dir", str(tmp_path / "c2"),
+                     "--batch-size", "4096"]) == 0
+        out = tmp_path / "anon.rtrace"
+        assert main(["anonymize", str(capture), "--out", str(out),
+                     "--key", "24680", "--workers", "0",
+                     "--cache-dir", str(tmp_path / "c3"),
+                     "--batch-size", "4096"]) == 0
+
+    def test_simulate_accepts_workers(self, tmp_path):
+        out = tmp_path / "w.rtrace"
+        assert main(["simulate", "--year", "2016", "--days", "2",
+                     "--max-packets", "8000", "--min-scans", "30",
+                     "--workers", "1", "--out", str(out)]) == 0
+        assert out.exists()

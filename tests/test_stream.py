@@ -1,0 +1,302 @@
+"""Tests for repro.stream — streaming ingestion and incremental analysis.
+
+The load-bearing property is *stream equivalence*: the incremental
+identifier must reproduce batch ``identify_scans`` column by column at any
+window size, and still after a kill-and-resume through a checkpoint.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.campaigns import CampaignCriteria, identify_scans
+from repro.stream import (
+    BatchStreamSource,
+    CheckpointStore,
+    IncrementalScanIdentifier,
+    IterStreamSource,
+    StreamConfig,
+    StreamEngine,
+    StreamOrderError,
+    StreamStats,
+    TraceStreamSource,
+    format_bytes,
+    identify_scans_stream,
+    peak_rss_bytes,
+    rebatch,
+)
+from repro.telescope import PacketBatch, write_trace
+
+
+def assert_tables_equal(actual, expected):
+    """Column-by-column exact comparison of two ScanTables."""
+    assert len(actual) == len(expected)
+    for col in (
+        "src_ip", "start", "end", "packets", "distinct_dsts", "primary_port",
+        "match_fraction", "speed_pps", "coverage", "sequential",
+        "window_mode", "ttl_mode",
+    ):
+        a = getattr(actual, col)
+        b = getattr(expected, col)
+        assert a.dtype == b.dtype, col
+        assert np.array_equal(a, b), col
+    assert [str(t) for t in actual.tool] == [str(t) for t in expected.tool]
+    assert len(actual.port_sets) == len(expected.port_sets)
+    for p, q in zip(actual.port_sets, expected.port_sets):
+        assert p.dtype == q.dtype
+        assert np.array_equal(p, q)
+
+
+@pytest.fixture(scope="module")
+def batch2020(sim2020):
+    return sim2020.batch
+
+
+@pytest.fixture(scope="module")
+def scans2020(batch2020):
+    return identify_scans(batch2020)
+
+
+def ordered_batch(n=4000, sources=25, seed=3):
+    """A small time-ordered batch with per-source packet runs."""
+    gen = np.random.default_rng(seed)
+    return PacketBatch(
+        time=np.sort(gen.uniform(0, 5000, n)),
+        src_ip=gen.integers(0, sources, n).astype(np.uint32),
+        dst_ip=gen.integers(0, 2**32, n, dtype=np.uint32),
+        src_port=gen.integers(1024, 2**16, n).astype(np.uint16),
+        dst_port=gen.integers(0, 2**16, n, dtype=np.uint16),
+        ip_id=gen.integers(0, 2**16, n, dtype=np.uint16),
+        seq=gen.integers(0, 2**32, n, dtype=np.uint32),
+        ttl=gen.integers(32, 128, n).astype(np.uint8),
+        window=gen.integers(0, 2**16, n, dtype=np.uint16),
+        flags=np.full(n, 2, dtype=np.uint8),
+    )
+
+
+class TestRebatch:
+    def test_exact_window_sizes(self):
+        batch = ordered_batch(1000)
+        windows = list(rebatch(iter([batch]), batch_size=256))
+        assert [len(w) for w in windows] == [256, 256, 256, 232]
+        assert np.array_equal(
+            PacketBatch.concat(windows).time, batch.time
+        )
+
+    def test_chunk_boundaries_invisible(self):
+        batch = ordered_batch(1000)
+        pieces = [batch[i:i + 97] for i in range(0, 1000, 97)]
+        windows = list(rebatch(iter(pieces), batch_size=256))
+        assert [len(w) for w in windows] == [256, 256, 256, 232]
+
+    def test_time_window_alignment(self):
+        batch = ordered_batch(2000)
+        windows = list(rebatch(iter([batch]), batch_size=None, window_s=500.0))
+        for w in windows:
+            buckets = np.floor(w.time / 500.0)
+            assert buckets.min() == buckets.max()
+        assert sum(len(w) for w in windows) == 2000
+
+    def test_never_emits_empty(self):
+        windows = list(rebatch(iter([PacketBatch.empty()]), batch_size=10))
+        assert windows == []
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            list(rebatch(iter([]), batch_size=0))
+        with pytest.raises(ValueError):
+            list(rebatch(iter([]), window_s=-1.0))
+
+    def test_memoryless_resume(self):
+        """Skipping N packets and re-batching reproduces the window tail."""
+        batch = ordered_batch(1000)
+        full = list(rebatch(iter([batch]), batch_size=256))
+        skipped = list(rebatch(iter([batch[512:]]), batch_size=256))
+        assert [len(w) for w in skipped] == [len(w) for w in full[2:]]
+        assert np.array_equal(skipped[0].time, full[2].time)
+
+
+class TestStreamEquivalence:
+    @pytest.mark.parametrize("batch_size", [4096, 50_000, None])
+    def test_sim2020_column_equal(self, batch2020, scans2020, batch_size):
+        table = identify_scans_stream(batch2020, batch_size=batch_size)
+        assert_tables_equal(table, scans2020)
+
+    def test_sim2020_time_windows(self, batch2020, scans2020):
+        table = identify_scans_stream(
+            batch2020, batch_size=8192, window_s=6 * 3600.0
+        )
+        assert_tables_equal(table, scans2020)
+
+    def test_custom_criteria(self, batch2020):
+        criteria = CampaignCriteria(min_distinct_dsts=50, min_rate_pps=10.0,
+                                    expiry_s=900.0)
+        table = identify_scans_stream(
+            batch2020, criteria=criteria, batch_size=4096
+        )
+        assert_tables_equal(table, identify_scans(batch2020, criteria))
+
+    def test_empty_stream(self):
+        table = identify_scans_stream(PacketBatch.empty())
+        assert len(table) == 0
+
+    def test_single_window(self, batch2020, scans2020):
+        source = IterStreamSource([batch2020], batch_size=None)
+        assert_tables_equal(identify_scans_stream(source), scans2020)
+
+    def test_trace_source(self, tmp_path, batch2020, scans2020):
+        path = tmp_path / "cap.rtrace"
+        write_trace(path, batch2020, meta={"year": 2020}, chunk_size=25_000)
+        table = identify_scans_stream(str(path), batch_size=8192)
+        assert_tables_equal(table, scans2020)
+
+    def test_out_of_order_rejected(self):
+        batch = ordered_batch(200)
+        identifier = IncrementalScanIdentifier()
+        identifier.consume(batch[100:])
+        with pytest.raises(StreamOrderError):
+            identifier.consume(batch[:100])
+
+
+class TestBoundedMemory:
+    def test_sessions_finalise_as_stream_advances(self, batch2020):
+        """Open-session state stays bounded: quiet sources retire mid-run."""
+        identifier = IncrementalScanIdentifier()
+        peaks = []
+        for window in BatchStreamSource(batch2020, batch_size=8192).windows():
+            identifier.consume(window)
+            peaks.append(identifier.open_packets)
+        # If no session ever finalised, open_packets would approach the
+        # capture length; with one-hour expiry it must stay far below it.
+        assert max(peaks) < len(batch2020)
+        assert identifier.scans_found > 0  # scans finalised before the end
+        assert identifier.buffered_bytes > 0
+        identifier.finalize()
+        assert identifier.open_sessions == 0
+        assert identifier.buffered_bytes == 0
+
+    def test_stats_surface_reports_memory(self, batch2020):
+        engine = StreamEngine(config=StreamConfig(batch_size=8192))
+        seen = []
+        result = engine.run(
+            BatchStreamSource(batch2020, batch_size=8192),
+            progress=lambda stats: seen.append(stats.to_dict()),
+        )
+        assert result.stats.packets == len(batch2020)
+        assert result.stats.peak_rss_bytes > 0
+        assert result.stats.wall_s > 0
+        assert result.stats.packets_per_s > 0
+        assert any(s["open_sessions"] > 0 for s in seen)
+        assert any(s["buffered_bytes"] > 0 for s in seen)
+        line = result.stats.summary_line()
+        assert "packets" in line and "RSS" in line
+
+
+class TestCheckpointResume:
+    def _trace(self, tmp_path, batch):
+        path = tmp_path / "cap.rtrace"
+        write_trace(path, batch, meta={"year": 2020}, chunk_size=10_000)
+        return path
+
+    def test_kill_and_resume_round_trip(self, tmp_path, batch2020, scans2020):
+        path = self._trace(tmp_path, batch2020)
+        config = StreamConfig(
+            batch_size=8192, checkpoint_dir=tmp_path / "ckpt",
+            checkpoint_every=1,
+        )
+
+        class Killed(Exception):
+            pass
+
+        windows_before_kill = 3
+        calls = []
+
+        def killer(stats):
+            calls.append(stats.windows)
+            if len(calls) >= windows_before_kill:
+                raise Killed
+
+        with pytest.raises(Killed):
+            StreamEngine(config=config).run(
+                TraceStreamSource(path, batch_size=8192), progress=killer
+            )
+
+        result = StreamEngine(config=config).run(
+            TraceStreamSource(path, batch_size=8192)
+        )
+        assert result.resumed
+        assert result.stats.resumed_packets == windows_before_kill * 8192
+        assert_tables_equal(result.scans, scans2020)
+
+    def test_rerun_after_completion_is_cheap(self, tmp_path, batch2020,
+                                             scans2020):
+        path = self._trace(tmp_path, batch2020)
+        config = StreamConfig(batch_size=16_384,
+                              checkpoint_dir=tmp_path / "ckpt")
+        first = StreamEngine(config=config).run(
+            TraceStreamSource(path, batch_size=16_384)
+        )
+        again = StreamEngine(config=config).run(
+            TraceStreamSource(path, batch_size=16_384)
+        )
+        assert not first.resumed and again.resumed
+        assert again.stats.resumed_packets == len(batch2020)
+        assert_tables_equal(again.scans, first.scans)
+        assert_tables_equal(again.scans, scans2020)
+
+    def test_key_separates_configurations(self, tmp_path, batch2020):
+        path = self._trace(tmp_path, batch2020)
+        store = CheckpointStore(tmp_path / "ckpt")
+        source = TraceStreamSource(path, batch_size=8192)
+        from repro.core.fingerprints import ToolFingerprinter
+
+        fp = ToolFingerprinter()
+        base = store.key_for(source.identity(), CampaignCriteria(), fp, 8192, None)
+        other_batch = store.key_for(
+            source.identity(), CampaignCriteria(), fp, 4096, None
+        )
+        other_criteria = store.key_for(
+            source.identity(), CampaignCriteria(min_rate_pps=10.0), fp, 8192, None
+        )
+        assert len({base, other_batch, other_criteria}) == 3
+
+    def test_stale_checkpoint_ignored(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        identifier = IncrementalScanIdentifier()
+        identifier.consume(ordered_batch(500))
+        store.save("abc123", identifier.snapshot())
+        assert store.load("abc123") is not None
+        # A key mismatch (file renamed / squatting) is a miss, not an error.
+        path = store.path_for("abc123")
+        path.rename(store.path_for("def456"))
+        assert store.load("def456") is None
+
+    def test_snapshot_restore_round_trip(self, batch2020, scans2020):
+        source = BatchStreamSource(batch2020, batch_size=8192)
+        identifier = IncrementalScanIdentifier()
+        windows = list(source.windows())
+        for window in windows[:4]:
+            identifier.consume(window)
+        arrays = identifier.snapshot()
+        clone = IncrementalScanIdentifier()
+        clone.restore({k: np.asarray(v) for k, v in arrays.items()})
+        assert clone.packets_consumed == identifier.packets_consumed
+        assert clone.open_sessions == identifier.open_sessions
+        assert clone.buffered_bytes > 0
+        for window in windows[4:]:
+            clone.consume(window)
+        assert_tables_equal(clone.finalize(), scans2020)
+
+
+class TestStats:
+    def test_format_bytes(self):
+        assert format_bytes(512) == "512 B"
+        assert format_bytes(2048) == "2.0 KB"
+        assert format_bytes(5 * 1024**2) == "5.0 MB"
+
+    def test_peak_rss_positive_on_posix(self):
+        assert peak_rss_bytes() >= 0
+
+    def test_progress_line_renders(self):
+        stats = StreamStats(packets=1000, windows=2, wall_s=0.5)
+        assert "w=2" in stats.progress_line()
+        assert "packets=1,000" in stats.progress_line()

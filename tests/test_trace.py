@@ -114,3 +114,109 @@ class TestFormatErrors:
         trimmed.write_bytes(data[:-4])
         loaded, _ = read_trace(trimmed)
         assert len(loaded) == 10
+
+
+class TestTruncationDiagnostics:
+    def test_error_reports_offset_and_batch(self, tmp_path):
+        good = tmp_path / "good.rtrace"
+        write_trace(good, sample_batch(50), chunk_size=20)
+        data = good.read_bytes()
+        bad = tmp_path / "bad.rtrace"
+        # Cut inside the *second* chunk's columns.
+        header = 8 + 4 + 2  # magic + meta_len + "{}"
+        chunk_bytes = 4 + 20 * 30
+        bad.write_bytes(data[: header + chunk_bytes + chunk_bytes // 2])
+        with pytest.raises(TraceFormatError) as excinfo:
+            with TraceReader(bad) as r:
+                list(r)
+        message = str(excinfo.value)
+        assert "byte offset" in message
+        assert "batch 1" in message
+        assert "bad.rtrace" in message
+
+    def test_non_strict_drops_partial_final_batch(self, tmp_path):
+        good = tmp_path / "good.rtrace"
+        write_trace(good, sample_batch(50), chunk_size=20)
+        data = good.read_bytes()
+        bad = tmp_path / "bad.rtrace"
+        header = 8 + 4 + 2
+        chunk_bytes = 4 + 20 * 30
+        bad.write_bytes(data[: header + 2 * chunk_bytes + 100])
+        with TraceReader(bad, strict=False) as r:
+            chunks = list(r)
+            assert r.truncated
+        assert [len(c) for c in chunks] == [20, 20]
+
+    def test_non_strict_partial_header(self, tmp_path):
+        good = tmp_path / "good.rtrace"
+        write_trace(good, sample_batch(20))
+        data = good.read_bytes()
+        bad = tmp_path / "bad.rtrace"
+        bad.write_bytes(data[:-2])  # mid-terminator: 2 of 4 header bytes
+        with TraceReader(bad, strict=False) as r:
+            chunks = list(r)
+            assert r.truncated
+        assert [len(c) for c in chunks] == [20]
+
+    def test_non_strict_still_rejects_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.rtrace"
+        path.write_bytes(b"NOTTRACE" + b"\x00" * 16)
+        with pytest.raises(TraceFormatError):
+            with TraceReader(path, strict=False) as r:
+                list(r)
+
+    def test_read_trace_strict_flag(self, tmp_path):
+        good = tmp_path / "good.rtrace"
+        write_trace(good, sample_batch(50), chunk_size=20)
+        data = good.read_bytes()
+        bad = tmp_path / "bad.rtrace"
+        bad.write_bytes(data[: len(data) - 200])
+        with pytest.raises(TraceFormatError):
+            read_trace(bad)
+        loaded, _ = read_trace(bad, strict=False)
+        assert len(loaded) == 40  # complete chunks only
+
+
+class TestSkipPackets:
+    def test_skip_whole_chunks(self, tmp_path):
+        batch = sample_batch(100)
+        path = tmp_path / "t.rtrace"
+        write_trace(path, batch, chunk_size=30)
+        with TraceReader(path) as r:
+            remainder = r.skip_packets(60)
+            assert len(remainder) == 0
+            rest = PacketBatch.concat([remainder] + list(r))
+        assert np.array_equal(rest.time, batch.time[60:])
+
+    def test_skip_into_mid_chunk(self, tmp_path):
+        batch = sample_batch(100)
+        path = tmp_path / "t.rtrace"
+        write_trace(path, batch, chunk_size=30)
+        with TraceReader(path) as r:
+            remainder = r.skip_packets(45)
+            assert len(remainder) == 15
+            rest = PacketBatch.concat([remainder] + list(r))
+        assert np.array_equal(rest.time, batch.time[45:])
+        assert np.array_equal(rest.src_ip, batch.src_ip[45:])
+
+    def test_skip_zero(self, tmp_path):
+        batch = sample_batch(10)
+        path = tmp_path / "t.rtrace"
+        write_trace(path, batch)
+        with TraceReader(path) as r:
+            assert len(r.skip_packets(0)) == 0
+            assert len(PacketBatch.concat(list(r))) == 10
+
+    def test_skip_beyond_end(self, tmp_path):
+        path = tmp_path / "t.rtrace"
+        write_trace(path, sample_batch(10))
+        with TraceReader(path) as r:
+            with pytest.raises(ValueError):
+                r.skip_packets(11)
+
+    def test_skip_negative(self, tmp_path):
+        path = tmp_path / "t.rtrace"
+        write_trace(path, sample_batch(10))
+        with TraceReader(path) as r:
+            with pytest.raises(ValueError):
+                r.skip_packets(-1)
