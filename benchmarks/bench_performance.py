@@ -7,6 +7,8 @@ fingerprinting, enrichment lookups, trace serialisation and anonymisation.
 Multiple rounds; pytest-benchmark reports the distribution.
 """
 
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -105,3 +107,51 @@ def test_perf_anonymize(perf_batch, benchmark):
         lambda: anonymizer.anonymize(perf_batch.src_ip), rounds=3, iterations=1
     )
     assert out.size == len(perf_batch)
+
+
+def test_perf_lint(benchmark, tmp_path):
+    """Whole-program lint of src/repro: cold vs summary-cache-warm.
+
+    The timed figure is the warm run (what a developer iterating on one
+    file pays); the cold time and the resulting speedup land in
+    ``benchmark.extra_info``. The project pass is only worth its cache
+    if warm runs skip essentially all parsing, so the speedup is pinned
+    at >= 3x.
+    """
+    import time
+
+    from repro.lint.config import load_config
+    from repro.lint.project import lint_repository
+
+    repo_root = Path(__file__).resolve().parent.parent
+    config = load_config(repo_root / "pyproject.toml")
+    targets = [repo_root / "src" / "repro"]
+    cache_dir = tmp_path / "lint-cache"
+
+    start = time.perf_counter()
+    cold_diags, _, cold_stats = lint_repository(
+        config, paths=targets, cache_dir=cache_dir, use_cache=True
+    )
+    cold_s = time.perf_counter() - start
+    assert cold_stats.cache_hits == 0
+
+    def warm():
+        diags, _, stats = lint_repository(
+            config, paths=targets, cache_dir=cache_dir, use_cache=True
+        )
+        assert stats.cache_misses == 0
+        return diags
+
+    warm_diags = benchmark.pedantic(warm, rounds=3, iterations=1)
+    assert warm_diags == cold_diags
+
+    warm_s = max(benchmark.stats.stats.median, 1e-9)
+    speedup = cold_s / warm_s
+    benchmark.extra_info["files"] = cold_stats.files
+    benchmark.extra_info["cold_s"] = round(cold_s, 4)
+    benchmark.extra_info["warm_median_s"] = round(warm_s, 4)
+    benchmark.extra_info["warm_speedup"] = round(speedup, 1)
+    assert speedup >= 3.0, (
+        f"warm lint only {speedup:.1f}x faster than cold "
+        f"({warm_s:.3f}s vs {cold_s:.3f}s)"
+    )

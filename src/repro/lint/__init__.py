@@ -1,7 +1,8 @@
 """repro.lint — AST-based domain-invariant linter for this codebase.
 
 The rules encode the invariants the reproduction's calibration rests on
-(see docs/architecture.md, "Static analysis & invariants"):
+(see docs/lint.md for the full catalog with examples, and
+docs/architecture.md, "Static analysis & invariants"):
 
 ========  ====================  ===============================================
 Code      Name                  Invariant
@@ -11,12 +12,22 @@ RPR002    rng-plumbing          generators derive from repro._util.rng
 RPR003    header-field-safety   literals fit packet-header wire widths
 RPR004    batch-immutability    no in-place PacketBatch column mutation
 RPR005    float-equality        no ==/!= on floats in core/ analysis code
+RPR006    rng-key-paths         derive_rng keys constant and collision-free
+RPR007    process-safety        executor-submitted functions stay pure
+RPR008    schema-drift          persisted fields match the schema manifest
+RPR009    batch-column-flow     no interprocedural batch-column mutation
 ========  ====================  ===============================================
+
+RPR001–005 are per-file syntactic rules; RPR006–009 are whole-program
+rules that run over the :class:`~repro.lint.project.ProjectContext` built
+by the two-pass analyzer in :mod:`repro.lint.project` (per-file summaries
+are content-addressed-cached and parsed in parallel under ``--workers``).
 
 Run ``python -m repro.lint`` (or the ``repro-lint`` console script);
 configure via ``[tool.repro-lint]`` in pyproject.toml; silence single lines
 with ``# repro-lint: disable=RPR00x``; grandfather findings in
-``lint-baseline.json``.
+``lint-baseline.json``; commit persisted-schema fingerprints to
+``lint-schema.json`` via ``--update-schema-manifest``.
 """
 
 from repro.lint.baseline import Baseline
@@ -25,11 +36,22 @@ from repro.lint.diagnostics import Diagnostic, Severity
 from repro.lint.engine import (
     REGISTRY,
     FileContext,
+    ProjectRule,
     Rule,
     RuleRegistry,
     lint_file,
     lint_paths,
     lint_source,
+)
+from repro.lint.project import (
+    ModuleSummary,
+    ProjectContext,
+    ProjectStats,
+    SummaryCache,
+    analyze_files,
+    lint_repository,
+    run_project_rules,
+    summarize_source,
 )
 
 # Importing the rules package registers the rule set.
@@ -40,13 +62,22 @@ __all__ = [
     "Diagnostic",
     "FileContext",
     "LintConfig",
+    "ModuleSummary",
+    "ProjectContext",
+    "ProjectRule",
+    "ProjectStats",
     "REGISTRY",
     "Rule",
     "RuleRegistry",
     "Severity",
+    "SummaryCache",
+    "analyze_files",
     "find_pyproject",
     "lint_file",
     "lint_paths",
+    "lint_repository",
     "lint_source",
     "load_config",
+    "run_project_rules",
+    "summarize_source",
 ]

@@ -33,7 +33,8 @@ class Baseline:
         data = json.loads(path.read_text(encoding="utf-8"))
         if data.get("version") != _VERSION:
             raise ValueError(
-                f"unsupported baseline version {data.get('version')!r} in {path}"
+                f"unsupported baseline version {data.get('version')!r} in "
+                f"{path} (this linter reads baseline version {_VERSION})"
             )
         entries = set()
         for item in data.get("entries", []):
@@ -68,3 +69,20 @@ class Baseline:
         for diag in diags:
             (known if diag.baseline_key() in self.entries else new).append(diag)
         return new, known
+
+    def stale_entries(
+        self, diags: Iterable[Diagnostic]
+    ) -> List[Tuple[str, str, int]]:
+        """Baselined keys no longer matched by any current finding.
+
+        A stale entry means the grandfathered violation was fixed (or
+        moved): keeping it would let a *new* finding on the same line slip
+        through silently, so ``--update-baseline`` prunes these and fails.
+        """
+        live = {d.baseline_key() for d in diags}
+        return sorted(self.entries - live)
+
+    def pruned(self, diags: Iterable[Diagnostic]) -> "Baseline":
+        """A copy without the entries :meth:`stale_entries` reports."""
+        live = {d.baseline_key() for d in diags}
+        return Baseline(entries=self.entries & live)

@@ -1,7 +1,13 @@
 """Command-line front end: ``python -m repro.lint`` / ``repro-lint``.
 
+One invocation runs both passes — the per-file syntactic rules and the
+whole-program project rules (RPR006–RPR009) over a
+:class:`~repro.lint.project.ProjectContext` — with per-file summaries
+content-addressed-cached and parsed in parallel under ``--workers``.
+
 Exit status: 0 — clean (no unbaselined error-severity findings);
-1 — findings; 2 — usage/configuration error.
+1 — findings (or, under ``--update-baseline``, stale entries pruned);
+2 — usage/configuration error.
 """
 
 from __future__ import annotations
@@ -15,7 +21,10 @@ from typing import List, Optional, Sequence
 from repro.lint.baseline import Baseline
 from repro.lint.config import LintConfig, find_pyproject, load_config
 from repro.lint.diagnostics import Diagnostic, Severity
-from repro.lint.engine import REGISTRY, collect_files, lint_file
+from repro.lint.engine import REGISTRY
+from repro.lint.project import ProjectStats, lint_repository
+from repro.lint.rules.schema_drift import collect_sites, write_manifest
+from repro.lint.sarif import render_sarif
 
 EXIT_CLEAN = 0
 EXIT_FINDINGS = 1
@@ -49,12 +58,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="write all current findings to the baseline file and exit 0",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--update-baseline", action="store_true",
+        help="prune baseline entries no longer matched by any finding; "
+             "exits 1 when entries were pruned (stale baseline) or new "
+             "error findings remain",
+    )
+    parser.add_argument(
+        "--update-schema-manifest", action="store_true",
+        help="re-fingerprint the configured schema-sites and rewrite the "
+             "schema manifest (lint-schema.json), then exit",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="output format (default: text)",
     )
     parser.add_argument(
+        "--output", type=Path, default=None,
+        help="write the formatted report to FILE (a text summary still "
+             "goes to stdout, and the exit code is unaffected)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="parse/summarise files with N worker processes "
+             "(0 = serial; default: [tool.repro-lint] workers)",
+    )
+    parser.add_argument(
+        "--cache-dir", type=Path, default=None,
+        help="summary-cache directory (default: [tool.repro-lint] cache, "
+             ".repro-lint-cache under the lint root)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the per-file summary cache for this run",
+    )
+    parser.add_argument(
         "--statistics", action="store_true",
-        help="print a per-rule findings summary",
+        help="print a per-rule findings summary and cache statistics",
     )
     parser.add_argument(
         "--list-rules", action="store_true",
@@ -75,20 +114,34 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         config = _resolve_config(args)
         targets = _resolve_targets(args, config)
-        files = collect_files(targets, config)
+        workers = (
+            args.workers if args.workers is not None
+            else config.default_workers()
+        )
+        if workers < 0:
+            raise ValueError("--workers must be non-negative")
+        diagnostics, project, stats = lint_repository(
+            config,
+            paths=targets,
+            workers=workers,
+            cache_dir=args.cache_dir,
+            use_cache=not args.no_cache,
+        )
     except (FileNotFoundError, ValueError) as exc:
         print(f"repro-lint: error: {exc}", file=sys.stderr)
         return EXIT_USAGE
+    except SyntaxError as exc:
+        print(f"repro-lint: error: cannot parse source: {exc}",
+              file=sys.stderr)
+        return EXIT_USAGE
 
-    diagnostics: List[Diagnostic] = []
-    for file_path in files:
-        try:
-            diagnostics.extend(lint_file(file_path, config=config))
-        except SyntaxError as exc:
-            print(f"repro-lint: error: cannot parse {file_path}: {exc}",
-                  file=sys.stderr)
-            return EXIT_USAGE
-    diagnostics.sort(key=Diagnostic.sort_key)
+    if args.update_schema_manifest:
+        sites = collect_sites(project, config)
+        write_manifest(config.manifest_path(), sites)
+        print(
+            f"wrote {len(sites)} schema site(s) to {config.manifest_path()}"
+        )
+        return EXIT_CLEAN
 
     baseline_path = args.baseline or config.baseline_path()
     if args.write_baseline:
@@ -96,28 +149,66 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"wrote {len(diagnostics)} finding(s) to {baseline_path}")
         return EXIT_CLEAN
 
-    baseline = Baseline() if args.no_baseline else Baseline.load(baseline_path)
-    new, known = baseline.partition(diagnostics)
+    try:
+        baseline = (
+            Baseline() if args.no_baseline else Baseline.load(baseline_path)
+        )
+    except ValueError as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
 
-    if args.format == "json":
-        print(json.dumps(
+    if args.update_baseline:
+        stale = baseline.stale_entries(diagnostics)
+        pruned = baseline.pruned(diagnostics)
+        pruned.save(baseline_path)
+        for path, code, line in stale:
+            print(f"pruned stale baseline entry: {path}:{line} {code}")
+        new, _ = pruned.partition(diagnostics)
+        errors = [d for d in new if d.severity is Severity.ERROR]
+        print(
+            f"baseline updated: {len(pruned.entries)} entr(y/ies) kept, "
+            f"{len(stale)} pruned, {len(errors)} unbaselined error(s) remain"
+        )
+        return EXIT_FINDINGS if stale or errors else EXIT_CLEAN
+
+    new, known = baseline.partition(diagnostics)
+    files = stats.files
+
+    payload: Optional[str] = None
+    if args.format == "sarif":
+        payload = render_sarif(new, REGISTRY)
+    elif args.format == "json":
+        payload = json.dumps(
             {
-                "findings": [d.__dict__ | {"severity": d.severity.value} for d in new],
+                "findings": [
+                    {**d.__dict__, "severity": d.severity.value} for d in new
+                ],
                 "baselined": len(known),
-                "files": len(files),
+                "files": files,
+                "cache": {
+                    "hits": stats.cache_hits,
+                    "misses": stats.cache_misses,
+                },
             },
             indent=2, default=str,
-        ))
+        )
+
+    summary = (
+        f"{len(new)} finding(s) ({len(known)} baselined) "
+        f"across {files} file(s)"
+    )
+    if args.output is not None and payload is not None:
+        args.output.write_text(payload + "\n", encoding="utf-8")
+        print(f"wrote {args.format} report to {args.output}")
+        print(summary if new or known else f"clean: {summary}")
+    elif payload is not None:
+        print(payload)
     else:
         for diag in new:
             print(diag.render())
-        if args.statistics:
-            _print_statistics(new)
-        summary = (
-            f"{len(new)} finding(s) ({len(known)} baselined) "
-            f"across {len(files)} file(s)"
-        )
         print(summary if new or known else f"clean: {summary}")
+    if args.statistics:
+        _print_statistics(new, stats)
 
     errors = [d for d in new if d.severity is Severity.ERROR]
     return EXIT_FINDINGS if errors else EXIT_CLEAN
@@ -138,13 +229,20 @@ def _resolve_targets(args: argparse.Namespace, config: LintConfig) -> List[Path]
     return [config.root / p for p in config.paths]
 
 
-def _print_statistics(diags: Sequence[Diagnostic]) -> None:
+def _print_statistics(
+    diags: Sequence[Diagnostic], stats: Optional[ProjectStats] = None
+) -> None:
     counts: dict = {}
     for diag in diags:
         counts[diag.code] = counts.get(diag.code, 0) + 1
     for code in sorted(counts):
         rule = REGISTRY.get(code)
         print(f"  {code} ({rule.name}): {counts[code]}")
+    if stats is not None:
+        print(
+            f"  cache: {stats.cache_hits} hit(s), {stats.cache_misses} "
+            f"miss(es); parsed {stats.parsed}/{stats.files} file(s)"
+        )
 
 
 if __name__ == "__main__":  # pragma: no cover

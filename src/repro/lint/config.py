@@ -33,6 +33,20 @@ DEFAULT_IMMUTABILITY_EXEMPT = ("telescope/packet.py",)
 #: (the paper's analysis code, per the invariant in docs/architecture.md).
 DEFAULT_FLOAT_EQ_PATHS = ("core/",)
 
+#: Modules (suffix-matched) whose executor submissions RPR007 audits.
+DEFAULT_EXECUTOR_MODULES = ("exec/parallel.py",)
+
+#: Persisted-schema sites for RPR008, each
+#: ``"<site path>:<site qualname>:<version path>:<version constant>"``
+#: (relative paths contain ``/`` never ``:``, so the colon split is safe).
+DEFAULT_SCHEMA_SITES = (
+    "exec/cache.py:CaptureCache.store.meta"
+    ":exec/cache.py:CACHE_SCHEMA_VERSION",
+    "stream/incremental.py:IncrementalScanIdentifier.snapshot"
+    ":stream/checkpoint.py:STREAM_SCHEMA_VERSION",
+    "telescope/trace.py:_COLUMN_ORDER:telescope/trace.py:MAGIC",
+)
+
 
 @dataclass
 class LintConfig:
@@ -51,14 +65,68 @@ class LintConfig:
     float_eq_paths: List[str] = field(
         default_factory=lambda: list(DEFAULT_FLOAT_EQ_PATHS)
     )
+    #: project-pass knobs — TOML values are strings per the fallback parser,
+    #: so ``workers`` stays a string here and is int()-ed at the use site.
+    workers: str = "0"
+    cache: str = ".repro-lint-cache"
+    schema_manifest: str = "lint-schema.json"
+    schema_sites: List[str] = field(
+        default_factory=lambda: list(DEFAULT_SCHEMA_SITES)
+    )
+    executor_modules: List[str] = field(
+        default_factory=lambda: list(DEFAULT_EXECUTOR_MODULES)
+    )
 
     def baseline_path(self) -> Path:
         return self.root / self.baseline
+
+    def cache_path(self) -> Optional[Path]:
+        """Summary-cache directory; ``cache = ""`` disables caching."""
+        if not self.cache:
+            return None
+        return self.root / self.cache
+
+    def manifest_path(self) -> Path:
+        return self.root / self.schema_manifest
+
+    def default_workers(self) -> int:
+        try:
+            return int(self.workers)
+        except ValueError:
+            raise ValueError(
+                f"[tool.{SECTION}].workers must be an integer string, "
+                f"got {self.workers!r}"
+            )
 
     def is_excluded(self, rel_path: str) -> bool:
         from fnmatch import fnmatch
 
         return any(fnmatch(rel_path, pat) for pat in self.exclude)
+
+    def to_payload(self, include_root: bool = True) -> Dict[str, object]:
+        """JSON-serialisable form (for worker processes and cache keys)."""
+        payload: Dict[str, object] = {
+            attr: list(value) if isinstance(value, list) else value
+            for attr, value in (
+                (attr, getattr(self, attr)) for attr in _KEY_MAP.values()
+            )
+        }
+        if include_root:
+            payload["root"] = str(self.root)
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "LintConfig":
+        cfg = cls()
+        for attr in _KEY_MAP.values():
+            if attr in payload:
+                value = payload[attr]
+                setattr(
+                    cfg, attr, list(value) if isinstance(value, list) else value
+                )
+        if "root" in payload:
+            cfg.root = Path(str(payload["root"]))
+        return cfg
 
 
 _KEY_MAP = {
@@ -70,6 +138,11 @@ _KEY_MAP = {
     "rng-exempt": "rng_exempt",
     "immutability-exempt": "immutability_exempt",
     "float-eq-paths": "float_eq_paths",
+    "workers": "workers",
+    "cache": "cache",
+    "schema-manifest": "schema_manifest",
+    "schema-sites": "schema_sites",
+    "executor-modules": "executor_modules",
 }
 
 

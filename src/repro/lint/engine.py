@@ -7,6 +7,15 @@ comments, and returns sorted diagnostics.  Baseline handling lives in
 :mod:`repro.lint.baseline`; path/config resolution in
 :mod:`repro.lint.config`.
 
+Two rule families share the registry:
+
+* **file rules** (:class:`Rule`) see one :class:`FileContext` at a time —
+  the per-file syntactic pass;
+* **project rules** (:class:`ProjectRule`) see the whole-program
+  :class:`~repro.lint.project.ProjectContext` built by
+  :mod:`repro.lint.project` — cross-module invariants (RPR006–RPR009) that
+  no single file can witness.
+
 Inline suppressions use the comment syntax::
 
     something_noisy()  # repro-lint: disable=RPR001
@@ -86,6 +95,40 @@ class Rule:
         )
 
 
+class ProjectRule(Rule):
+    """Base class for whole-program rules.
+
+    Subclasses implement :meth:`check_project` over the
+    :class:`~repro.lint.project.ProjectContext`; :meth:`check` is unused
+    (project rules never run in the per-file pass).  :meth:`project_diag`
+    stamps findings from module summaries, which carry relative paths and
+    line numbers but no live AST.
+    """
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        return iter(())
+
+    def check_project(self, project) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+    def project_diag(
+        self,
+        rel_path: str,
+        line: int,
+        col: int,
+        message: str,
+        severity: Optional[Severity] = None,
+    ) -> Diagnostic:
+        return Diagnostic(
+            path=rel_path,
+            line=line,
+            col=col,
+            code=self.code,
+            message=message,
+            severity=severity or self.default_severity,
+        )
+
+
 class RuleRegistry:
     """Ordered collection of rule instances, keyed by code."""
 
@@ -110,6 +153,14 @@ class RuleRegistry:
 
     def enabled(self, config: LintConfig) -> List[Rule]:
         return [r for r in self.rules() if r.code not in config.disable]
+
+    def file_rules(self, config: LintConfig) -> List[Rule]:
+        """Enabled per-file rules (the pass-2a syntactic walk)."""
+        return [r for r in self.enabled(config) if not isinstance(r, ProjectRule)]
+
+    def project_rules(self, config: LintConfig) -> List["ProjectRule"]:
+        """Enabled whole-program rules (the pass-2b cross-module walk)."""
+        return [r for r in self.enabled(config) if isinstance(r, ProjectRule)]
 
 
 #: The default registry; rule modules register into it at import time.
@@ -161,23 +212,33 @@ def lint_source(
         tree=tree,
         config=config,
     )
-    warn_codes = set(config.warn)
     found: List[Diagnostic] = []
-    for rule in registry.enabled(config):
-        for diag in rule.check(ctx):
-            if diag.code in warn_codes and diag.severity is Severity.ERROR:
-                diag = Diagnostic(
-                    path=diag.path,
-                    line=diag.line,
-                    col=diag.col,
-                    code=diag.code,
-                    message=diag.message,
-                    severity=Severity.WARNING,
-                )
-            found.append(diag)
+    for rule in registry.file_rules(config):
+        found.extend(rule.check(ctx))
+    found = apply_warn(found, config)
     suppressions = parse_suppressions(ctx.lines)
     kept = [d for d in found if not is_suppressed(d, suppressions)]
     return sorted(kept, key=Diagnostic.sort_key)
+
+
+def apply_warn(
+    diags: Iterable[Diagnostic], config: LintConfig
+) -> List[Diagnostic]:
+    """Demote codes listed in ``config.warn`` to warning severity."""
+    warn_codes = set(config.warn)
+    out: List[Diagnostic] = []
+    for diag in diags:
+        if diag.code in warn_codes and diag.severity is Severity.ERROR:
+            diag = Diagnostic(
+                path=diag.path,
+                line=diag.line,
+                col=diag.col,
+                code=diag.code,
+                message=diag.message,
+                severity=Severity.WARNING,
+            )
+        out.append(diag)
+    return out
 
 
 def lint_file(

@@ -1,0 +1,1011 @@
+"""Whole-program analysis pass (pass 1) for the project rules.
+
+:func:`analyze_files` reduces every source file to a serialisable
+:class:`ModuleSummary` — symbol table, import graph edges, a conservative
+call graph, and an index of the call sites the cross-module rules care
+about (``derive_rng`` keys, ``*_SCHEMA_VERSION`` constants, persisted-dict
+field sets, ``np.savez``/process-pool submissions, ``PacketBatch`` column
+arguments).  :class:`ProjectContext` stitches the summaries into the
+whole-program view that the :class:`~repro.lint.engine.ProjectRule`
+subclasses (RPR006–RPR009) traverse.
+
+Summaries carry everything pass 2 needs and nothing it does not (no live
+ASTs), so they are content-addressed-cached per file — the same blake2b
+keying discipline as ``repro.exec.cache.CaptureCache`` — and a warm lint
+re-parses only edited files.  Files are summarised in parallel with the
+repo's ``--workers`` convention (0 = serial in-process).
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro import __version__
+from repro.lint.config import LintConfig
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import (
+    REGISTRY,
+    FileContext,
+    RuleRegistry,
+    _relativize,
+    apply_warn,
+    collect_files,
+    is_suppressed,
+    parse_suppressions,
+)
+from repro.lint._ast import BATCH_COLUMNS, import_aliases, resolve
+
+#: Bump when the summary layout changes; every cache entry then misses.
+SUMMARY_SCHEMA_VERSION = 3
+
+#: Canonical names whose call constructs a process pool.
+_POOL_CONSTRUCTORS = {
+    "concurrent.futures.ProcessPoolExecutor",
+    "concurrent.futures.process.ProcessPoolExecutor",
+}
+
+#: Constructors whose result is module-level *mutable* state when bound at
+#: module scope (literals are detected structurally).
+_MUTABLE_CONSTRUCTOR_LEAVES = {"dict", "list", "set", "defaultdict", "Counter",
+                               "deque", "OrderedDict", "bytearray"}
+
+#: Canonical call prefixes that are ambient randomness (process-pool purity).
+_RANDOM_PREFIXES = ("random.", "numpy.random.", "secrets.")
+_RANDOM_EXACT = {"os.urandom", "uuid.uuid4", "uuid.uuid1"}
+
+#: numpy.random leaves that only *construct* (deterministically seeded)
+#: machinery rather than draw ambient entropy; RPR002 already polices
+#: construction, so RPR007 does not re-flag them.
+_RANDOM_OK_LEAVES = {"Generator", "SeedSequence", "BitGenerator", "PCG64",
+                     "PCG64DXSM", "MT19937", "Philox", "SFC64"}
+
+_MUTATOR_METHODS = {
+    "sort", "fill", "partition", "put", "resize", "setflags", "byteswap",
+    "append", "extend", "clear", "update", "pop", "setdefault",
+}
+
+#: In-place numpy mutators relevant to array parameters (RPR009).
+_ARRAY_MUTATORS = {"sort", "fill", "partition", "put", "resize", "setflags",
+                   "byteswap"}
+
+
+# ---------------------------------------------------------------------------
+# summary records
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RngSite:
+    """One ``derive_rng(root, *tokens)`` call site."""
+
+    lineno: int
+    col: int
+    func: str  #: enclosing function qualname ('<module>' at top level)
+    #: per token: repr of the literal, or None when dynamic
+    tokens: List[Optional[str]]
+    #: source text per token, for messages
+    token_texts: List[str]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"lineno": self.lineno, "col": self.col, "func": self.func,
+                "tokens": self.tokens, "token_texts": self.token_texts}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RngSite":
+        return cls(lineno=int(data["lineno"]), col=int(data["col"]),
+                   func=data["func"], tokens=list(data["tokens"]),
+                   token_texts=list(data["token_texts"]))
+
+
+@dataclass
+class SubmitSite:
+    """One ``pool.submit(f, ...)`` / ``pool.map(f, ...)`` call site."""
+
+    lineno: int
+    col: int
+    method: str  #: 'submit' or 'map'
+    callee: Optional[str]  #: resolved dotted name of the submitted callable
+    callee_text: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"lineno": self.lineno, "col": self.col, "method": self.method,
+                "callee": self.callee, "callee_text": self.callee_text}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SubmitSite":
+        return cls(lineno=int(data["lineno"]), col=int(data["col"]),
+                   method=data["method"], callee=data["callee"],
+                   callee_text=data["callee_text"])
+
+
+@dataclass
+class ColumnArg:
+    """A call passing a ``PacketBatch`` column attribute as an argument."""
+
+    lineno: int
+    col: int
+    callee: str  #: resolved dotted callee
+    arg_index: int
+    column: str
+    arg_text: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"lineno": self.lineno, "col": self.col, "callee": self.callee,
+                "arg_index": self.arg_index, "column": self.column,
+                "arg_text": self.arg_text}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ColumnArg":
+        return cls(lineno=int(data["lineno"]), col=int(data["col"]),
+                   callee=data["callee"], arg_index=int(data["arg_index"]),
+                   column=data["column"], arg_text=data["arg_text"])
+
+
+@dataclass
+class FunctionSummary:
+    """Facts about one function that survive across module boundaries."""
+
+    qualname: str
+    lineno: int
+    params: List[str]
+    #: positional indices mutated in place (subscript store / array mutator)
+    mutated_params: List[int] = field(default_factory=list)
+    #: (callee, callee_arg_index, own_param_index) — param forwarded whole
+    forwards: List[Tuple[str, int, int]] = field(default_factory=list)
+    #: resolved dotted callees (project call-graph edges)
+    calls: List[str] = field(default_factory=list)
+    #: (global name, 'read'|'write', lineno) touching module mutable state
+    global_uses: List[Tuple[str, str, int]] = field(default_factory=list)
+    #: (canonical dotted name, lineno) — from-imported foreign-module values
+    ext_reads: List[Tuple[str, int]] = field(default_factory=list)
+    #: (canonical target, lineno) — ambient randomness reached directly
+    random_calls: List[Tuple[str, int]] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "qualname": self.qualname, "lineno": self.lineno,
+            "params": self.params, "mutated_params": self.mutated_params,
+            "forwards": [list(f) for f in self.forwards],
+            "calls": self.calls,
+            "global_uses": [list(g) for g in self.global_uses],
+            "ext_reads": [list(e) for e in self.ext_reads],
+            "random_calls": [list(r) for r in self.random_calls],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FunctionSummary":
+        return cls(
+            qualname=data["qualname"], lineno=int(data["lineno"]),
+            params=list(data["params"]),
+            mutated_params=[int(i) for i in data["mutated_params"]],
+            forwards=[(f[0], int(f[1]), int(f[2])) for f in data["forwards"]],
+            calls=list(data["calls"]),
+            global_uses=[(g[0], g[1], int(g[2])) for g in data["global_uses"]],
+            ext_reads=[(e[0], int(e[1])) for e in data["ext_reads"]],
+            random_calls=[(r[0], int(r[1])) for r in data["random_calls"]],
+        )
+
+
+@dataclass
+class ModuleSummary:
+    """Everything pass 2 may ask about one module — JSON-serialisable."""
+
+    rel_path: str
+    module: str  #: dotted module name derived from the relative path
+    mutable_globals: List[str] = field(default_factory=list)
+    #: ALL_CAPS module constants: name -> repr(value)
+    constants: Dict[str, str] = field(default_factory=dict)
+    #: persisted-field sets: qualname -> {'fields': [...], 'lineno': n}
+    schema_fields: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    rng_sites: List[RngSite] = field(default_factory=list)
+    submit_sites: List[SubmitSite] = field(default_factory=list)
+    pool_sites: List[int] = field(default_factory=list)
+    savez_sites: List[int] = field(default_factory=list)
+    column_args: List[ColumnArg] = field(default_factory=list)
+    functions: Dict[str, FunctionSummary] = field(default_factory=dict)
+    #: inline-suppression table: [line, codes-or-None]
+    suppressions: List[Tuple[int, Optional[List[str]]]] = field(
+        default_factory=list
+    )
+
+    def suppression_table(self) -> Dict[int, Optional[Set[str]]]:
+        return {
+            line: (None if codes is None else set(codes))
+            for line, codes in self.suppressions
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rel_path": self.rel_path,
+            "module": self.module,
+            "mutable_globals": self.mutable_globals,
+            "constants": self.constants,
+            "schema_fields": self.schema_fields,
+            "rng_sites": [s.to_dict() for s in self.rng_sites],
+            "submit_sites": [s.to_dict() for s in self.submit_sites],
+            "pool_sites": self.pool_sites,
+            "savez_sites": self.savez_sites,
+            "column_args": [a.to_dict() for a in self.column_args],
+            "functions": {q: f.to_dict() for q, f in self.functions.items()},
+            "suppressions": [
+                [line, codes] for line, codes in self.suppressions
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ModuleSummary":
+        return cls(
+            rel_path=data["rel_path"],
+            module=data["module"],
+            mutable_globals=list(data["mutable_globals"]),
+            constants=dict(data["constants"]),
+            schema_fields={
+                q: {"fields": list(v["fields"]), "lineno": int(v["lineno"])}
+                for q, v in data["schema_fields"].items()
+            },
+            rng_sites=[RngSite.from_dict(s) for s in data["rng_sites"]],
+            submit_sites=[SubmitSite.from_dict(s) for s in data["submit_sites"]],
+            pool_sites=[int(n) for n in data["pool_sites"]],
+            savez_sites=[int(n) for n in data["savez_sites"]],
+            column_args=[ColumnArg.from_dict(a) for a in data["column_args"]],
+            functions={
+                q: FunctionSummary.from_dict(f)
+                for q, f in data["functions"].items()
+            },
+            suppressions=[
+                (int(line), None if codes is None else list(codes))
+                for line, codes in data["suppressions"]
+            ],
+        )
+
+
+def target_param_index(fsum: "FunctionSummary", call_arg_index: int) -> int:
+    """Map a positional call-site index onto the callee's parameter list.
+
+    Instance/class methods resolved through an attribute call receive the
+    receiver implicitly, so positional arguments shift by one.
+    """
+    if fsum.params and fsum.params[0] in ("self", "cls"):
+        return call_arg_index + 1
+    return call_arg_index
+
+
+def module_name_for(rel_path: str) -> str:
+    """Dotted module name for a posix relative path.
+
+    ``src/repro/exec/cache.py`` → ``repro.exec.cache``; a package
+    ``__init__.py`` names the package itself.
+    """
+    parts = [p for p in rel_path.split("/") if p]
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# pass 1: the summariser
+# ---------------------------------------------------------------------------
+
+
+def _expr_text(node: ast.AST) -> str:
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - malformed expression
+        return "<expr>"
+
+
+def _const_token(node: ast.AST) -> Optional[str]:
+    """repr of a hashable literal token, None when dynamic."""
+    if isinstance(node, ast.Constant) and isinstance(
+        node.value, (str, int, bool, float, bytes)
+    ):
+        return repr(node.value)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _const_token(node.operand)
+        return None if inner is None else f"-{inner}"
+    return None
+
+
+def _const_str_keys(node: ast.Dict) -> Optional[List[str]]:
+    keys: List[str] = []
+    for key in node.keys:
+        if isinstance(key, ast.Constant) and isinstance(key.value, str):
+            keys.append(key.value)
+        else:
+            return None
+    return keys or None
+
+
+def _pair_sequence_fields(node: ast.AST) -> Optional[List[str]]:
+    """First elements of a tuple/list of tuples — e.g. ``_COLUMN_ORDER``."""
+    if not isinstance(node, (ast.Tuple, ast.List)) or not node.elts:
+        return None
+    fields: List[str] = []
+    for elt in node.elts:
+        if not (isinstance(elt, (ast.Tuple, ast.List)) and elt.elts):
+            return None
+        head = elt.elts[0]
+        if isinstance(head, ast.Constant) and isinstance(head.value, str):
+            fields.append(head.value)
+        else:
+            return None
+    return fields
+
+
+def _is_mutable_value(node: ast.AST, aliases: Dict[str, str]) -> bool:
+    if isinstance(node, (ast.Dict, ast.List, ast.Set,
+                         ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        target = resolve(node.func, aliases) or ""
+        return target.rsplit(".", 1)[-1] in _MUTABLE_CONSTRUCTOR_LEAVES
+    return False
+
+
+class _Summarizer:
+    """Single AST pass producing a :class:`ModuleSummary`."""
+
+    def __init__(self, tree: ast.Module, source: str, rel_path: str):
+        self.tree = tree
+        self.rel_path = rel_path
+        self.module = module_name_for(rel_path)
+        self.aliases = import_aliases(tree)
+        self.summary = ModuleSummary(rel_path=rel_path, module=self.module)
+        self.summary.suppressions = sorted(
+            (line, None if codes is None else sorted(codes))
+            for line, codes in parse_suppressions(source.splitlines()).items()
+        )
+        #: names of module-level defs (for bare-name call resolution)
+        self.toplevel_defs: Set[str] = {
+            node.name
+            for node in tree.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef))
+        }
+    def run(self) -> ModuleSummary:
+        self._module_scope()
+        stack: List[str] = []
+
+        def visit(node: ast.AST, klass: Optional[str]) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.ClassDef):
+                    visit(child, child.name)
+                elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if stack:
+                        qual = f"{stack[-1]}.{child.name}"
+                    elif klass:
+                        qual = f"{klass}.{child.name}"
+                    else:
+                        qual = child.name
+                    stack.append(qual)
+                    self._function(child, qual, klass)
+                    visit(child, None)
+                    stack.pop()
+                else:
+                    visit(child, klass)
+
+        visit(self.tree, None)
+        self._call_index()
+        return self.summary
+
+    # -- module scope -------------------------------------------------------
+
+    def _module_scope(self) -> None:
+        out = self.summary
+        for node in self.tree.body:
+            targets: List[ast.AST] = []
+            value: Optional[ast.AST] = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            if value is None:
+                continue
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                name = target.id
+                if _is_mutable_value(value, self.aliases):
+                    out.mutable_globals.append(name)
+                if name.isupper():
+                    if isinstance(value, ast.Constant) and isinstance(
+                        value.value, (int, str, bytes)
+                    ):
+                        out.constants[name] = repr(value.value)
+                    fields = _pair_sequence_fields(value)
+                    if fields is not None:
+                        out.schema_fields[name] = {
+                            "fields": fields, "lineno": node.lineno
+                        }
+                if isinstance(value, ast.Dict):
+                    keys = _const_str_keys(value)
+                    if keys is not None:
+                        out.schema_fields.setdefault(
+                            name, {"fields": keys, "lineno": node.lineno}
+                        )
+
+    # -- functions ----------------------------------------------------------
+
+    def _function(self, func: ast.AST, qualname: str,
+                  klass: Optional[str]) -> None:
+        args = func.args
+        params = [a.arg for a in [*args.posonlyargs, *args.args]]
+        fsum = FunctionSummary(qualname=qualname, lineno=func.lineno,
+                               params=params)
+        param_index = {name: i for i, name in enumerate(params)}
+        mutable = set(self.summary.mutable_globals)
+        locals_bound: Set[str] = set(params)
+        global_decls: Set[str] = set()
+
+        for node in ast.walk(func):
+            if isinstance(node, ast.Global):
+                global_decls.update(node.names)
+                for name in node.names:
+                    fsum.global_uses.append((name, "write", node.lineno))
+            elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                self._function_store(node, fsum, param_index, mutable,
+                                     locals_bound)
+            elif isinstance(node, ast.Call):
+                self._function_call(node, fsum, param_index, klass)
+            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                if node.id in mutable and node.id not in locals_bound:
+                    fsum.global_uses.append((node.id, "read", node.lineno))
+                elif node.id in self.aliases and node.id.isupper():
+                    dotted = self.aliases[node.id]
+                    if "." in dotted:
+                        fsum.ext_reads.append((dotted, node.lineno))
+
+        # Record dict literals returned / bound in this function as
+        # persisted-schema candidates (keyed by qualname[.var]).
+        for node in ast.walk(func):
+            if isinstance(node, ast.Return) and isinstance(node.value, ast.Dict):
+                keys = _const_str_keys(node.value)
+                if keys is not None:
+                    entry = self.summary.schema_fields.setdefault(
+                        qualname, {"fields": [], "lineno": node.lineno}
+                    )
+                    entry["fields"] = sorted(set(entry["fields"]) | set(keys))
+            elif isinstance(node, ast.Assign) and isinstance(node.value, ast.Dict):
+                keys = _const_str_keys(node.value)
+                if keys is None:
+                    continue
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        qual = f"{qualname}.{target.id}"
+                        entry = self.summary.schema_fields.setdefault(
+                            qual, {"fields": [], "lineno": node.lineno}
+                        )
+                        entry["fields"] = sorted(
+                            set(entry["fields"]) | set(keys)
+                        )
+
+        self.summary.functions[qualname] = fsum
+
+    def _function_store(self, node: ast.AST, fsum: FunctionSummary,
+                        param_index: Dict[str, int], mutable: Set[str],
+                        locals_bound: Set[str]) -> None:
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name):
+                if target.id in mutable and not isinstance(node, ast.AugAssign):
+                    # Rebinding a module name locally shadows it from here
+                    # on; conservative, but stops param-style false hits.
+                    locals_bound.add(target.id)
+                continue
+            if isinstance(target, ast.Subscript):
+                base = target.value
+                if isinstance(base, ast.Name):
+                    if base.id in param_index:
+                        idx = param_index[base.id]
+                        if idx not in fsum.mutated_params:
+                            fsum.mutated_params.append(idx)
+                    elif base.id in mutable and base.id not in locals_bound:
+                        fsum.global_uses.append(
+                            (base.id, "write", node.lineno)
+                        )
+
+    def _function_call(self, node: ast.Call, fsum: FunctionSummary,
+                       param_index: Dict[str, int],
+                       klass: Optional[str]) -> None:
+        resolved = self._resolve_call(node, klass)
+        if resolved is not None:
+            fsum.calls.append(resolved)
+            if self._is_random(resolved):
+                fsum.random_calls.append((resolved, node.lineno))
+            # Whole-parameter forwarding (for transitive mutation).
+            for arg_idx, arg in enumerate(node.args):
+                if isinstance(arg, ast.Name) and arg.id in param_index:
+                    fsum.forwards.append(
+                        (resolved, arg_idx, param_index[arg.id])
+                    )
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            # In-place mutators on a bare parameter: arr.sort(), arr.fill(0).
+            base = func.value
+            if (
+                isinstance(base, ast.Name)
+                and base.id in param_index
+                and func.attr in _ARRAY_MUTATORS
+            ):
+                idx = param_index[base.id]
+                if idx not in fsum.mutated_params:
+                    fsum.mutated_params.append(idx)
+            # Mutation of module-level mutable state: CACHE.clear(), ...
+            if (
+                isinstance(base, ast.Name)
+                and base.id in self.summary.mutable_globals
+                and func.attr in _MUTATOR_METHODS
+            ):
+                fsum.global_uses.append((base.id, "write", node.lineno))
+
+    def _resolve_call(self, node: ast.Call,
+                      klass: Optional[str]) -> Optional[str]:
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id in self.toplevel_defs:
+                return f"{self.module}.{func.id}"
+            return self.aliases.get(func.id)
+        if isinstance(func, ast.Attribute):
+            if (
+                isinstance(func.value, ast.Name)
+                and func.value.id in ("self", "cls")
+                and klass is not None
+            ):
+                return f"{self.module}.{klass}.{func.attr}"
+            return resolve(func, self.aliases)
+        return None
+
+    @staticmethod
+    def _is_random(target: str) -> bool:
+        if target in _RANDOM_EXACT:
+            return True
+        for prefix in _RANDOM_PREFIXES:
+            if target.startswith(prefix):
+                leaf = target.rsplit(".", 1)[-1]
+                return leaf not in _RANDOM_OK_LEAVES
+        return False
+
+    # -- call-site indexes ---------------------------------------------------
+
+    def _call_index(self) -> None:
+        stack: List[Tuple[Optional[str], str]] = []
+
+        def visit(node: ast.AST, klass: Optional[str]) -> None:
+            if isinstance(node, ast.ClassDef):
+                for child in ast.iter_child_nodes(node):
+                    visit(child, node.name)
+                return
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if stack:
+                    qual = f"{stack[-1][1]}.{node.name}"
+                    owner = stack[-1][0]
+                else:
+                    qual = f"{klass}.{node.name}" if klass else node.name
+                    owner = klass
+                stack.append((owner, qual))
+                for child in ast.iter_child_nodes(node):
+                    visit(child, None)
+                stack.pop()
+                return
+            if isinstance(node, ast.Call):
+                enclosing = stack[-1][1] if stack else "<module>"
+                owner = stack[-1][0] if stack else klass
+                self._index_call(node, enclosing, owner)
+            for child in ast.iter_child_nodes(node):
+                visit(child, klass)
+
+        visit(self.tree, None)
+
+    def _index_call(self, node: ast.Call, enclosing: str,
+                    klass: Optional[str]) -> None:
+        out = self.summary
+        resolved = self._resolve_call(node, klass)
+        leaf = (resolved or "").rsplit(".", 1)[-1]
+
+        if leaf == "derive_rng":
+            tokens = [_const_token(arg) for arg in node.args[1:]]
+            texts = [_expr_text(arg) for arg in node.args[1:]]
+            out.rng_sites.append(RngSite(
+                lineno=node.lineno, col=node.col_offset, func=enclosing,
+                tokens=tokens, token_texts=texts,
+            ))
+        if resolved in _POOL_CONSTRUCTORS:
+            out.pool_sites.append(node.lineno)
+        if resolved in ("numpy.savez", "numpy.savez_compressed"):
+            out.savez_sites.append(node.lineno)
+
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in ("submit", "map")
+            and node.args
+        ):
+            head = node.args[0]
+            callee: Optional[str] = None
+            if isinstance(head, ast.Name):
+                callee = (
+                    f"{self.module}.{head.id}"
+                    if head.id in self.toplevel_defs
+                    else self.aliases.get(head.id)
+                )
+            elif isinstance(head, ast.Attribute):
+                callee = resolve(head, self.aliases)
+            out.submit_sites.append(SubmitSite(
+                lineno=node.lineno, col=node.col_offset, method=func.attr,
+                callee=callee, callee_text=_expr_text(head),
+            ))
+
+        # PacketBatch column attributes handed to a resolvable callee.
+        if resolved is not None:
+            for arg_idx, arg in enumerate(node.args):
+                if (
+                    isinstance(arg, ast.Attribute)
+                    and arg.attr in BATCH_COLUMNS
+                    and not isinstance(arg.value, ast.Attribute)
+                ):
+                    out.column_args.append(ColumnArg(
+                        lineno=node.lineno, col=node.col_offset,
+                        callee=resolved, arg_index=arg_idx, column=arg.attr,
+                        arg_text=_expr_text(arg),
+                    ))
+
+
+def summarize_source(source: str, rel_path: str,
+                     tree: Optional[ast.Module] = None) -> ModuleSummary:
+    """Summarise one source blob (parses unless ``tree`` is supplied)."""
+    if tree is None:
+        tree = ast.parse(source, filename=rel_path)
+    return _Summarizer(tree, source, rel_path).run()
+
+
+# ---------------------------------------------------------------------------
+# the whole-program view
+# ---------------------------------------------------------------------------
+
+
+class ProjectContext:
+    """Cross-module view over every :class:`ModuleSummary`."""
+
+    def __init__(self, config: LintConfig,
+                 modules: Dict[str, ModuleSummary]):
+        self.config = config
+        self.modules = modules  #: rel_path -> summary
+        self.by_name: Dict[str, ModuleSummary] = {
+            summary.module: summary for summary in modules.values()
+        }
+        self._functions: Dict[str, Tuple[ModuleSummary, FunctionSummary]] = {}
+        for summary in modules.values():
+            for fsum in summary.functions.values():
+                self._functions[f"{summary.module}.{fsum.qualname}"] = (
+                    summary, fsum
+                )
+        self._mutated: Optional[Dict[str, Set[int]]] = None
+
+    # -- lookups ------------------------------------------------------------
+
+    def function(
+        self, dotted: Optional[str]
+    ) -> Optional[Tuple[ModuleSummary, FunctionSummary]]:
+        if dotted is None:
+            return None
+        return self._functions.get(dotted)
+
+    def module_by_suffix(self, suffix: str) -> Optional[ModuleSummary]:
+        for summary in self.modules.values():
+            if summary.rel_path.endswith(suffix):
+                return summary
+        return None
+
+    def iter_modules(self) -> Iterator[ModuleSummary]:
+        for rel_path in sorted(self.modules):
+            yield self.modules[rel_path]
+
+    # -- call graph ---------------------------------------------------------
+
+    def reachable(
+        self, start: str, max_depth: int = 8, max_nodes: int = 400
+    ) -> Dict[str, List[str]]:
+        """Project functions reachable from ``start``: name -> call chain."""
+        if start not in self._functions:
+            return {}
+        chains: Dict[str, List[str]] = {start: [start]}
+        frontier = [start]
+        depth = 0
+        while frontier and depth < max_depth and len(chains) < max_nodes:
+            next_frontier: List[str] = []
+            for name in frontier:
+                _, fsum = self._functions[name]
+                for callee in fsum.calls:
+                    if callee in self._functions and callee not in chains:
+                        chains[callee] = chains[name] + [callee]
+                        next_frontier.append(callee)
+            frontier = next_frontier
+            depth += 1
+        return chains
+
+    def mutated_param_table(self) -> Dict[str, Set[int]]:
+        """Fixpoint of in-place parameter mutation across call forwarding."""
+        if self._mutated is not None:
+            return self._mutated
+        table: Dict[str, Set[int]] = {
+            name: set(fsum.mutated_params)
+            for name, (_, fsum) in self._functions.items()
+        }
+        changed = True
+        while changed:
+            changed = False
+            for name, (_, fsum) in self._functions.items():
+                mine = table[name]
+                for callee, arg_idx, param_idx in fsum.forwards:
+                    entry = self._functions.get(callee)
+                    if entry is None:
+                        continue
+                    idx = target_param_index(entry[1], arg_idx)
+                    if idx in table[callee] and param_idx not in mine:
+                        mine.add(param_idx)
+                        changed = True
+        self._mutated = table
+        return table
+
+
+# ---------------------------------------------------------------------------
+# content-addressed per-file cache
+# ---------------------------------------------------------------------------
+
+
+class SummaryCache:
+    """Per-file analysis cache keyed on content, config, and rule set.
+
+    One JSON entry per (source digest, environment salt); the key mirrors
+    ``CaptureCache``'s blake2b discipline, so any edit — to the file, the
+    lint configuration, the rule set, or the library version — misses and
+    re-analyses, while untouched files load without parsing.
+    """
+
+    def __init__(self, root: Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def salt(config: LintConfig, registry: RuleRegistry) -> str:
+        material = {
+            "schema": SUMMARY_SCHEMA_VERSION,
+            "version": __version__,
+            "rules": [r.code for r in registry.rules()],
+            "config": config.to_payload(include_root=False),
+        }
+        return json.dumps(material, sort_keys=True)
+
+    def key_for(self, rel_path: str, source: bytes, salt: str) -> str:
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(salt.encode("utf-8"))
+        digest.update(b"\x1f")
+        digest.update(rel_path.encode("utf-8"))
+        digest.update(b"\x1f")
+        digest.update(source)
+        return digest.hexdigest()
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.lint.json"
+
+    def load(self, key: str) -> Optional[Dict[str, Any]]:
+        path = self.path_for(key)
+        if not path.is_file():
+            self.misses += 1
+            return None
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if payload.get("key") != key:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def store(self, key: str, payload: Dict[str, Any]) -> None:
+        payload = dict(payload)
+        payload["key"] = key
+        path = self.path_for(key)
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+        tmp.replace(path)
+
+
+# ---------------------------------------------------------------------------
+# pass orchestration
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ProjectStats:
+    """What one whole-program run did (surfaced by the CLI)."""
+
+    files: int = 0
+    parsed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+
+def _diag_to_dict(diag: Diagnostic) -> Dict[str, Any]:
+    return {"path": diag.path, "line": diag.line, "col": diag.col,
+            "code": diag.code, "message": diag.message,
+            "severity": diag.severity.value}
+
+
+def _diag_from_dict(data: Dict[str, Any]) -> Diagnostic:
+    from repro.lint.diagnostics import Severity
+
+    return Diagnostic(path=data["path"], line=int(data["line"]),
+                      col=int(data["col"]), code=data["code"],
+                      message=data["message"],
+                      severity=Severity(data["severity"]))
+
+
+def _analyze_source(
+    source: str,
+    rel_path: str,
+    path: Path,
+    config: LintConfig,
+    registry: RuleRegistry,
+) -> Tuple[ModuleSummary, List[Diagnostic]]:
+    """Parse once; produce the module summary and the file-rule findings."""
+    tree = ast.parse(source, filename=rel_path)
+    summary = summarize_source(source, rel_path, tree=tree)
+    ctx = FileContext(path=path, rel_path=rel_path, source=source,
+                      tree=tree, config=config)
+    found: List[Diagnostic] = []
+    for rule in registry.file_rules(config):
+        found.extend(rule.check(ctx))
+    found = apply_warn(found, config)
+    table = summary.suppression_table()
+    kept = [d for d in found if not is_suppressed(d, table)]
+    return summary, sorted(kept, key=Diagnostic.sort_key)
+
+
+def _analyze_file_task(
+    path_str: str, rel_path: str, config_payload: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Worker entry point — module-level so process pools pickle it by
+    reference; always uses the default registry (rule modules re-register
+    at import in each worker)."""
+    config = LintConfig.from_payload(config_payload)
+    source = Path(path_str).read_text(encoding="utf-8")
+    summary, diags = _analyze_source(
+        source, rel_path, Path(path_str), config, REGISTRY
+    )
+    return {
+        "summary": summary.to_dict(),
+        "diagnostics": [_diag_to_dict(d) for d in diags],
+    }
+
+
+def analyze_files(
+    files: Sequence[Path],
+    config: LintConfig,
+    registry: RuleRegistry = REGISTRY,
+    workers: int = 0,
+    cache: Optional[SummaryCache] = None,
+) -> Tuple[ProjectContext, List[Diagnostic], ProjectStats]:
+    """Pass 1 over ``files``: summaries plus per-file rule diagnostics.
+
+    ``workers`` follows the repo convention (0 = serial); parallel runs use
+    the default registry, so callers passing a custom registry are run
+    serially regardless.
+    """
+    if workers < 0:
+        raise ValueError("workers must be non-negative")
+    stats = ProjectStats(files=len(files))
+    salt = SummaryCache.salt(config, registry) if cache is not None else ""
+    modules: Dict[str, ModuleSummary] = {}
+    file_diags: List[Diagnostic] = []
+
+    pending: List[Tuple[Path, str, Optional[str]]] = []
+    for path in files:
+        rel = _relativize(path, config.root)
+        key: Optional[str] = None
+        if cache is not None:
+            key = cache.key_for(rel, path.read_bytes(), salt)
+            payload = cache.load(key)
+            if payload is not None:
+                summary = ModuleSummary.from_dict(payload["summary"])
+                modules[rel] = summary
+                file_diags.extend(
+                    _diag_from_dict(d) for d in payload["diagnostics"]
+                )
+                continue
+        pending.append((path, rel, key))
+
+    stats.parsed = len(pending)
+    if cache is not None:
+        stats.cache_hits = cache.hits
+        stats.cache_misses = cache.misses
+
+    results: List[Tuple[str, Optional[str], Dict[str, Any]]] = []
+    if workers >= 1 and registry is REGISTRY and len(pending) > 1:
+        payload = config.to_payload()
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                (rel, key, pool.submit(_analyze_file_task, str(path), rel,
+                                       payload))
+                for path, rel, key in pending
+            ]
+            for rel, key, future in futures:
+                results.append((rel, key, future.result()))
+    else:
+        for path, rel, key in pending:
+            source = path.read_text(encoding="utf-8")
+            summary, diags = _analyze_source(source, rel, path, config,
+                                             registry)
+            results.append((rel, key, {
+                "summary": summary.to_dict(),
+                "diagnostics": [_diag_to_dict(d) for d in diags],
+            }))
+
+    for rel, key, payload in results:
+        modules[rel] = ModuleSummary.from_dict(payload["summary"])
+        file_diags.extend(_diag_from_dict(d) for d in payload["diagnostics"])
+        if cache is not None and key is not None:
+            cache.store(key, payload)
+
+    project = ProjectContext(config, modules)
+    return project, sorted(file_diags, key=Diagnostic.sort_key), stats
+
+
+def run_project_rules(
+    project: ProjectContext,
+    config: LintConfig,
+    registry: RuleRegistry = REGISTRY,
+) -> List[Diagnostic]:
+    """Pass 2: cross-module rules, warn-demoted and suppression-filtered."""
+    found: List[Diagnostic] = []
+    for rule in registry.project_rules(config):
+        found.extend(rule.check_project(project))
+    found = apply_warn(found, config)
+    kept: List[Diagnostic] = []
+    for diag in found:
+        summary = project.modules.get(diag.path)
+        table = summary.suppression_table() if summary is not None else {}
+        if not is_suppressed(diag, table):
+            kept.append(diag)
+    return sorted(kept, key=Diagnostic.sort_key)
+
+
+def lint_repository(
+    config: LintConfig,
+    paths: Optional[Iterable[Path]] = None,
+    registry: RuleRegistry = REGISTRY,
+    workers: int = 0,
+    cache_dir: Optional[Path] = None,
+    use_cache: bool = True,
+) -> Tuple[List[Diagnostic], ProjectContext, ProjectStats]:
+    """One whole-program lint: both passes over the configured tree."""
+    targets = (
+        list(paths) if paths is not None
+        else [config.root / p for p in config.paths]
+    )
+    files = collect_files(targets, config)
+    cache: Optional[SummaryCache] = None
+    if use_cache:
+        root = cache_dir if cache_dir is not None else config.cache_path()
+        if root is not None:
+            cache = SummaryCache(root)
+    project, file_diags, stats = analyze_files(
+        files, config, registry=registry, workers=workers, cache=cache
+    )
+    project_diags = run_project_rules(project, config, registry=registry)
+    diagnostics = sorted(file_diags + project_diags, key=Diagnostic.sort_key)
+    return diagnostics, project, stats

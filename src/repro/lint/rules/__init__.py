@@ -2,11 +2,15 @@
 :data:`repro.lint.engine.REGISTRY`."""
 
 from repro.lint.rules import (  # noqa: F401  (import-for-registration)
+    batch_flow,
     determinism,
     float_eq,
     header_fields,
     immutability,
     plumbing,
+    process_safety,
+    rng_keys,
+    schema_drift,
 )
 
 __all__ = [
@@ -15,4 +19,8 @@ __all__ = [
     "header_fields",
     "immutability",
     "float_eq",
+    "rng_keys",
+    "process_safety",
+    "schema_drift",
+    "batch_flow",
 ]

@@ -1,0 +1,63 @@
+"""RPR009: interprocedural ``PacketBatch`` column mutation.
+
+RPR004 catches in-place writes to batch columns inside one file; it is
+blind to a column *escaping* — ``helper(batch.src_ip)`` where ``helper``
+(possibly in another module, possibly several calls deep) mutates the
+array it received.  ``PacketBatch`` hands out non-writeable views at
+runtime, but code paths that convert or copy defensively can still
+launder a writeable alias, and the failure is a corrupted shared capture.
+
+Pass 1 records every call that passes a ``<name>.<column>`` attribute
+(column ∈ the wire-format field set) positionally to a resolvable project
+function, plus per-function in-place parameter mutations and
+whole-parameter forwarding.  This rule closes mutation over the
+forwarding graph (fixpoint) and flags call sites whose column argument
+lands on a mutated parameter.  Files under ``immutability-exempt`` (the
+``PacketBatch`` definition site) are skipped.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import REGISTRY, ProjectRule
+from repro.lint.project import ProjectContext, target_param_index
+
+
+@REGISTRY.register
+class BatchColumnFlowRule(ProjectRule):
+    code = "RPR009"
+    name = "batch-column-flow"
+    description = (
+        "PacketBatch columns must not be passed to functions that mutate "
+        "the received array in place (directly or via forwarding)"
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Diagnostic]:
+        cfg = project.config
+        mutated = project.mutated_param_table()
+        for summary in project.iter_modules():
+            if any(
+                summary.rel_path.endswith(sfx)
+                for sfx in cfg.immutability_exempt
+            ):
+                continue
+            for arg in summary.column_args:
+                entry = project.function(arg.callee)
+                if entry is None:
+                    continue
+                _, fsum = entry
+                idx = target_param_index(fsum, arg.arg_index)
+                if idx not in mutated.get(arg.callee, set()):
+                    continue
+                param = (
+                    fsum.params[idx] if idx < len(fsum.params) else f"#{idx}"
+                )
+                yield self.project_diag(
+                    summary.rel_path, arg.lineno, arg.col,
+                    f"PacketBatch column '{arg.column}' ({arg.arg_text}) is "
+                    f"passed to {arg.callee}, which mutates parameter "
+                    f"'{param}' in place; copy the column first "
+                    "(np.array(col)) or make the callee pure",
+                )

@@ -1,95 +1,26 @@
 """Shared AST helpers for the rule modules.
 
-The central primitive is *import-aware name resolution*: ``np.random.rand``
-resolves to ``numpy.random.rand`` given ``import numpy as np``, so rules
-match on canonical dotted module paths instead of guessing from surface
-spellings.
+The implementation lives in :mod:`repro.lint._ast` (outside this package,
+so the project pass can import it without triggering rule registration);
+this module re-exports the public names the rule modules use.
 """
 
-from __future__ import annotations
+from repro.lint._ast import (  # noqa: F401
+    BATCH_COLUMNS,
+    FIELD_BITS,
+    annotation_text,
+    dotted_name,
+    import_aliases,
+    int_literal,
+    resolve,
+)
 
-import ast
-from typing import Dict, Optional
-
-#: Wire widths of the packet header fields the paper's methodology models
-#: (mirrors ``_COLUMNS`` in repro.telescope.packet).
-FIELD_BITS: Dict[str, int] = {
-    "src_ip": 32,
-    "dst_ip": 32,
-    "seq": 32,
-    "src_port": 16,
-    "dst_port": 16,
-    "ip_id": 16,
-    "window": 16,
-    "ttl": 8,
-    "flags": 8,
-}
-
-#: PacketBatch column attribute names (integer columns plus ``time``).
-BATCH_COLUMNS = frozenset(FIELD_BITS) | {"time"}
-
-
-def import_aliases(tree: ast.AST) -> Dict[str, str]:
-    """Map local names bound by imports to canonical dotted module paths."""
-    aliases: Dict[str, str] = {}
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            for item in node.names:
-                if item.asname:
-                    aliases[item.asname] = item.name
-                else:
-                    # ``import a.b`` binds the top-level name ``a``.
-                    top = item.name.split(".")[0]
-                    aliases[top] = top
-        elif isinstance(node, ast.ImportFrom):
-            if node.level or node.module is None:
-                continue  # relative imports stay project-local
-            for item in node.names:
-                local = item.asname or item.name
-                aliases[local] = f"{node.module}.{item.name}"
-    return aliases
-
-
-def dotted_name(node: ast.AST) -> Optional[str]:
-    """Render ``a.b.c`` attribute chains; ``None`` for anything else."""
-    parts = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-        return ".".join(reversed(parts))
-    return None
-
-
-def resolve(node: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
-    """Canonical dotted path of an expression, following import aliases."""
-    name = dotted_name(node)
-    if name is None:
-        return None
-    head, _, rest = name.partition(".")
-    if head in aliases:
-        head = aliases[head]
-    return f"{head}.{rest}" if rest else head
-
-
-def int_literal(node: ast.AST) -> Optional[int]:
-    """Value of an integer literal, handling unary minus; else ``None``."""
-    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
-        inner = int_literal(node.operand)
-        return None if inner is None else -inner
-    if isinstance(node, ast.Constant) and type(node.value) is int:
-        return node.value
-    return None
-
-
-def annotation_text(node: Optional[ast.AST]) -> str:
-    """Source text of an annotation ('' when absent)."""
-    if node is None:
-        return ""
-    if isinstance(node, ast.Constant) and isinstance(node.value, str):
-        return node.value  # string annotations
-    try:
-        return ast.unparse(node)
-    except Exception:  # pragma: no cover - malformed annotation
-        return ""
+__all__ = [
+    "BATCH_COLUMNS",
+    "FIELD_BITS",
+    "annotation_text",
+    "dotted_name",
+    "import_aliases",
+    "int_literal",
+    "resolve",
+]

@@ -1,0 +1,109 @@
+"""RPR007: process-boundary purity for executor-submitted functions.
+
+``simulate_years_parallel`` promises byte-identical results at any worker
+count, which only holds if every function handed to a process pool is a
+pure function of its arguments: no module-level mutable state (each worker
+has its *own* copy, so writes silently diverge and reads see whatever the
+fork captured) and no ambient randomness outside the ``derive_rng``
+discipline.
+
+The rule walks the conservative call graph from every ``pool.submit(f,
+...)`` / ``pool.map(f, ...)`` site inside the configured
+``executor-modules`` and flags any reachable project function that touches
+a module-level mutable global (read or write) or calls into ambient
+randomness (``random.*``, ``numpy.random.*``, ``os.urandom``,
+``secrets.*``, ``uuid.uuid4``).  Diagnostics land on the submit site —
+that is where the process boundary is crossed and where the fix (pass the
+state in, or re-key with ``derive_rng``) belongs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Set, Tuple
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import REGISTRY, ProjectRule
+from repro.lint.project import ProjectContext
+
+
+def _short_chain(chain: List[str]) -> str:
+    return " -> ".join(name.rsplit(".", 1)[-1] for name in chain)
+
+
+@REGISTRY.register
+class ProcessSafetyRule(ProjectRule):
+    code = "RPR007"
+    name = "process-safety"
+    description = (
+        "functions submitted to executors in executor-modules must not "
+        "reach module-level mutable state or non-derive_rng randomness"
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Diagnostic]:
+        cfg = project.config
+        for summary in project.iter_modules():
+            if not any(
+                summary.rel_path.endswith(sfx) for sfx in cfg.executor_modules
+            ):
+                continue
+            for site in summary.submit_sites:
+                entry = project.function(site.callee)
+                if entry is None:
+                    continue
+                seen: Set[Tuple[str, str, str]] = set()
+                chains = project.reachable(site.callee)
+                for name in sorted(chains):
+                    found = project.function(name)
+                    if found is None:
+                        continue
+                    mod, fsum = found
+                    mutable = set(mod.mutable_globals)
+                    for gname, action, _lineno in fsum.global_uses:
+                        if gname not in mutable and action != "write":
+                            continue
+                        key = ("global", name, gname)
+                        if key in seen:
+                            continue
+                        seen.add(key)
+                        yield self.project_diag(
+                            summary.rel_path, site.lineno, site.col,
+                            f"{site.method}({site.callee_text}, ...) crosses "
+                            "a process boundary but reaches module-level "
+                            f"mutable state '{gname}' of {mod.module} "
+                            f"(via {_short_chain(chains[name])}); workers "
+                            "each fork their own copy, so pass the state in "
+                            "as an argument instead",
+                        )
+                    for dotted, _lineno in fsum.ext_reads:
+                        owner, _, attr = dotted.rpartition(".")
+                        owner_mod = project.by_name.get(owner)
+                        if owner_mod is None:
+                            continue
+                        if attr not in owner_mod.mutable_globals:
+                            continue
+                        key = ("ext", name, dotted)
+                        if key in seen:
+                            continue
+                        seen.add(key)
+                        yield self.project_diag(
+                            summary.rel_path, site.lineno, site.col,
+                            f"{site.method}({site.callee_text}, ...) crosses "
+                            "a process boundary but reads module-level "
+                            f"mutable state {dotted} "
+                            f"(via {_short_chain(chains[name])}); pass the "
+                            "value in as an argument instead",
+                        )
+                    for target, _lineno in fsum.random_calls:
+                        key = ("random", name, target)
+                        if key in seen:
+                            continue
+                        seen.add(key)
+                        yield self.project_diag(
+                            summary.rel_path, site.lineno, site.col,
+                            f"{site.method}({site.callee_text}, ...) crosses "
+                            "a process boundary but reaches ambient "
+                            f"randomness {target} "
+                            f"(via {_short_chain(chains[name])}); derive a "
+                            "keyed child stream with derive_rng and pass it "
+                            "in",
+                        )

@@ -1,0 +1,91 @@
+"""RPR006: ``derive_rng`` key paths must be constant and collision-free.
+
+``derive_rng(root, *tokens)`` names a child stream by its token path; the
+whole parallel-fan-out determinism story (``simulate_years_parallel`` is
+byte-identical at any worker count) rests on every call site deriving a
+*distinct* path.  Two failure modes, both invisible per file:
+
+* **ambiguous keys** — a call whose leading token is not a string/int
+  literal (or that passes no tokens at all) cannot be told apart from any
+  other dynamic call, so stream identity depends on runtime values the
+  reader cannot audit;
+* **colliding keys** — two call sites whose token tuples can unify (equal
+  literals position-by-position, with dynamic tokens acting as wildcards)
+  can derive the *same* key and therefore correlated streams.
+
+Sites under ``rng-exempt`` paths (the RNG plumbing itself) are skipped.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import REGISTRY, ProjectRule
+from repro.lint.project import ModuleSummary, ProjectContext, RngSite
+
+
+def _key_text(site: RngSite) -> str:
+    parts = [
+        tok if tok is not None else f"<{text}>"
+        for tok, text in zip(site.tokens, site.token_texts)
+    ]
+    return "(" + ", ".join(parts) + ")"
+
+
+def _is_ambiguous(site: RngSite) -> bool:
+    return not site.tokens or site.tokens[0] is None
+
+
+def _can_unify(a: RngSite, b: RngSite) -> bool:
+    if len(a.tokens) != len(b.tokens):
+        return False
+    for tok_a, tok_b in zip(a.tokens, b.tokens):
+        if tok_a is not None and tok_b is not None and tok_a != tok_b:
+            return False
+    return True
+
+
+@REGISTRY.register
+class RngKeyPathsRule(ProjectRule):
+    code = "RPR006"
+    name = "rng-key-paths"
+    description = (
+        "derive_rng call sites must use constant, pairwise-distinct key "
+        "paths; ambiguous or unifiable keys derive correlated streams"
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Diagnostic]:
+        cfg = project.config
+        sites: List[Tuple[ModuleSummary, RngSite]] = []
+        for summary in project.iter_modules():
+            if any(summary.rel_path.endswith(sfx) for sfx in cfg.rng_exempt):
+                continue
+            for site in summary.rng_sites:
+                sites.append((summary, site))
+
+        unambiguous: List[Tuple[ModuleSummary, RngSite]] = []
+        for summary, site in sites:
+            if _is_ambiguous(site):
+                shown = _key_text(site) if site.tokens else "no tokens"
+                yield self.project_diag(
+                    summary.rel_path, site.lineno, site.col,
+                    f"derive_rng call in {site.func} has no constant leading "
+                    f"key token ({shown}); start the key with a unique "
+                    "string literal so the child stream is auditable",
+                )
+            else:
+                unambiguous.append((summary, site))
+
+        for i, (sum_a, site_a) in enumerate(unambiguous):
+            for sum_b, site_b in unambiguous[i + 1:]:
+                if not _can_unify(site_a, site_b):
+                    continue
+                yield self.project_diag(
+                    sum_b.rel_path, site_b.lineno, site_b.col,
+                    f"derive_rng key {_key_text(site_b)} in {site_b.func} "
+                    f"can collide with the call at {sum_a.rel_path}:"
+                    f"{site_a.lineno} ({_key_text(site_a)} in {site_a.func});"
+                    " same-arity keys whose tokens unify derive correlated "
+                    "streams — disambiguate the literal label",
+                )

@@ -1,0 +1,98 @@
+"""SARIF 2.1.0 serialisation of lint diagnostics.
+
+One run, one driver (``repro-lint``), one rule entry per registered rule,
+one result per diagnostic.  The output is what CI uploads so code-scanning
+annotates PRs; keep it stable — ordering is the diagnostics' sort order
+and the rule index is the sorted registry.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence
+
+from repro import __version__
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.engine import RuleRegistry
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning"}
+
+
+def to_sarif(
+    diagnostics: Sequence[Diagnostic], registry: RuleRegistry
+) -> Dict[str, Any]:
+    """Build the SARIF log object for one lint run."""
+    rules = registry.rules()
+    rule_index = {rule.code: i for i, rule in enumerate(rules)}
+    results: List[Dict[str, Any]] = []
+    for diag in diagnostics:
+        result: Dict[str, Any] = {
+            "ruleId": diag.code,
+            "level": _LEVELS[diag.severity],
+            "message": {"text": diag.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": diag.path,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": diag.line,
+                            # SARIF columns are 1-based; ast's are 0-based.
+                            "startColumn": diag.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if diag.code in rule_index:
+            result["ruleIndex"] = rule_index[diag.code]
+        results.append(result)
+
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://example.invalid/repro/docs/lint.md"
+                        ),
+                        "version": __version__,
+                        "rules": [
+                            {
+                                "id": rule.code,
+                                "name": rule.name,
+                                "shortDescription": {
+                                    "text": rule.description
+                                },
+                                "defaultConfiguration": {
+                                    "level": _LEVELS[rule.default_severity]
+                                },
+                            }
+                            for rule in rules
+                        ],
+                    }
+                },
+                "originalUriBaseIds": {
+                    "SRCROOT": {"uri": "file:///"},
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(
+    diagnostics: Sequence[Diagnostic], registry: RuleRegistry
+) -> str:
+    return json.dumps(to_sarif(diagnostics, registry), indent=2, sort_keys=True)

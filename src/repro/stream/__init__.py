@@ -9,7 +9,11 @@ incremental scan identifier stream-equivalent to batch ``identify_scans``
 :class:`~repro.stream.engine.StreamEngine`.
 """
 
-from repro.stream.checkpoint import STREAM_SCHEMA_VERSION, CheckpointStore
+from repro.stream.checkpoint import (
+    STREAM_SCHEMA_VERSION,
+    CheckpointStore,
+    CheckpointVersionError,
+)
 from repro.stream.engine import (
     StreamConfig,
     StreamEngine,
@@ -31,6 +35,7 @@ from repro.stream.stats import StreamStats, format_bytes, peak_rss_bytes
 __all__ = [
     "STREAM_SCHEMA_VERSION",
     "CheckpointStore",
+    "CheckpointVersionError",
     "StreamConfig",
     "StreamEngine",
     "StreamResult",

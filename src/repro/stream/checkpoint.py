@@ -38,12 +38,19 @@ STREAM_SCHEMA_VERSION = 1
 PathLike = Union[str, Path]
 
 
+class CheckpointVersionError(ValueError):
+    """A checkpoint exists but was written by an incompatible version."""
+
+
 class CheckpointStore:
     """A directory of content-addressed streaming checkpoints."""
 
     def __init__(self, root: PathLike):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        #: Why the most recent :meth:`load` treated a present file as a
+        #: miss (``None`` when the load hit or the file was absent).
+        self.last_mismatch: Optional[str] = None
 
     # -- keys ---------------------------------------------------------------
 
@@ -104,13 +111,19 @@ class CheckpointStore:
                 tmp.unlink()
         return path
 
-    def load(self, key: str) -> Optional[Dict[str, np.ndarray]]:
+    def load(
+        self, key: str, strict: bool = False
+    ) -> Optional[Dict[str, np.ndarray]]:
         """Materialise the snapshot for ``key``, or ``None`` when absent.
 
         A checkpoint written by a different schema/library version or
-        squatting on the wrong key is treated as a miss, not an error — the
-        caller just streams from the start.
+        squatting on the wrong key is treated as a miss by default — the
+        caller just streams from the start — but the reason (naming the
+        file, the versions it was written by, and the versions this build
+        reads) is recorded in :attr:`last_mismatch` and raised as
+        :class:`CheckpointVersionError` under ``strict=True``.
         """
+        self.last_mismatch = None
         path = self.path_for(key)
         if not path.exists():
             return None
@@ -118,18 +131,45 @@ class CheckpointStore:
             arrays = {name: payload[name] for name in payload.files}
         meta_blob = arrays.pop("checkpoint_meta", None)
         if meta_blob is None:
-            return None
+            return self._mismatch(
+                f"checkpoint {path} has no checkpoint_meta block "
+                f"(this build reads schema {STREAM_SCHEMA_VERSION} / "
+                f"library {__version__})",
+                strict,
+            )
         try:
             meta = json.loads(str(meta_blob))
         except json.JSONDecodeError:
-            return None
+            return self._mismatch(
+                f"checkpoint {path} has an unreadable checkpoint_meta "
+                f"block (this build reads schema {STREAM_SCHEMA_VERSION} / "
+                f"library {__version__})",
+                strict,
+            )
         if (
             meta.get("schema") != STREAM_SCHEMA_VERSION
             or meta.get("version") != __version__
-            or meta.get("key") != key
         ):
-            return None
+            return self._mismatch(
+                f"checkpoint {path} was written by schema "
+                f"{meta.get('schema')!r} / library {meta.get('version')!r}; "
+                f"this build reads schema {STREAM_SCHEMA_VERSION!r} / "
+                f"library {__version__!r}",
+                strict,
+            )
+        if meta.get("key") != key:
+            return self._mismatch(
+                f"checkpoint {path} records key {meta.get('key')!r} but was "
+                f"looked up as {key!r}",
+                strict,
+            )
         return arrays
+
+    def _mismatch(self, message: str, strict: bool) -> None:
+        self.last_mismatch = message
+        if strict:
+            raise CheckpointVersionError(message)
+        return None
 
     # -- maintenance --------------------------------------------------------
 

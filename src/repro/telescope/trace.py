@@ -128,6 +128,13 @@ class TraceReader:
         self._offset = len(magic)
         if magic != MAGIC:
             self._file.close()
+            if magic.startswith(b"RTRACE"):
+                # Same family, different format revision: name both
+                # versions so multi-trace runs can tell which file is old.
+                raise TraceFormatError(
+                    f"unsupported trace format version {magic!r} in "
+                    f"{self._path}: this reader supports {MAGIC!r}"
+                )
             raise TraceFormatError(f"bad magic in {self._path}: {magic!r}")
         (meta_len,) = struct.unpack("<I", self._read_exact(4, "metadata length"))
         self.meta = json.loads(

@@ -1,0 +1,644 @@
+"""Tests for the whole-program lint pass (repro.lint.project, RPR006-009).
+
+Each project rule gets a seeded-violation fixture package plus a clean
+counterpart; the pass itself is exercised for cache hit/invalidation on
+edit, worker-count independence (0/1/4 produce identical diagnostics),
+SARIF output against a golden file, and ``--update-baseline`` pruning.
+"""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    Baseline,
+    LintConfig,
+    Severity,
+    lint_repository,
+)
+from repro.lint.cli import main
+from repro.lint.project import (
+    SummaryCache,
+    module_name_for,
+    summarize_source,
+)
+from repro.lint.rules.schema_drift import (
+    collect_sites,
+    fingerprint_fields,
+    write_manifest,
+)
+from repro.lint.sarif import to_sarif
+from repro.lint.engine import REGISTRY
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+GOLDEN_SARIF = Path(__file__).resolve().parent / "data" / "lint_golden.sarif"
+
+#: File rules are exercised by tests/test_lint.py; fixtures here disable
+#: them so each assertion sees only the project rule under test.
+FILE_RULES = ["RPR001", "RPR002", "RPR003", "RPR004", "RPR005"]
+
+
+def write_tree(root, files):
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+
+
+def run_project(tmp_path, files, **cfg_kwargs):
+    write_tree(tmp_path, files)
+    cfg_kwargs.setdefault("paths", ["pkg"])
+    cfg_kwargs.setdefault("disable", FILE_RULES)
+    config = LintConfig(root=tmp_path, **cfg_kwargs)
+    diags, project, stats = lint_repository(config, use_cache=False)
+    return diags, project, stats
+
+
+def codes(diags):
+    return [d.code for d in diags]
+
+
+# ---------------------------------------------------------------------------
+# pass 1: summaries
+# ---------------------------------------------------------------------------
+
+
+class TestModuleSummary:
+    def test_module_name_for(self):
+        assert module_name_for("src/repro/exec/cache.py") == "repro.exec.cache"
+        assert module_name_for("pkg/__init__.py") == "pkg"
+        assert module_name_for("pkg/sub/mod.py") == "pkg.sub.mod"
+
+    def test_summary_round_trips_through_json(self):
+        src = textwrap.dedent("""\
+            from repro._util.rng import derive_rng
+
+            SCHEMA_VERSION = 3
+            _TABLE = {}
+
+            def f(rng, arr):
+                arr.sort()
+                return derive_rng(rng, "label", 7)
+        """)
+        summary = summarize_source(src, "pkg/mod.py")
+        from repro.lint.project import ModuleSummary
+
+        clone = ModuleSummary.from_dict(
+            json.loads(json.dumps(summary.to_dict()))
+        )
+        assert clone.to_dict() == summary.to_dict()
+        assert clone.constants["SCHEMA_VERSION"] == "3"
+        assert clone.mutable_globals == ["_TABLE"]
+        [site] = clone.rng_sites
+        assert site.tokens == ["'label'", "7"]
+        assert clone.functions["f"].mutated_params == [1]
+
+    def test_schema_fields_from_returned_dict(self):
+        src = textwrap.dedent("""\
+            class Store:
+                def snapshot(self):
+                    return {"a": 1, "b": 2}
+        """)
+        summary = summarize_source(src, "pkg/store.py")
+        assert summary.schema_fields["Store.snapshot"]["fields"] == ["a", "b"]
+
+    def test_schema_fields_from_pair_sequence_constant(self):
+        src = 'COLS = (("x", "<u4"), ("y", "<u2"))\n'
+        summary = summarize_source(src, "pkg/cols.py")
+        assert summary.schema_fields["COLS"]["fields"] == ["x", "y"]
+
+
+# ---------------------------------------------------------------------------
+# RPR006: derive_rng key paths
+# ---------------------------------------------------------------------------
+
+
+RPR006_COLLIDING = {
+    "pkg/__init__.py": "",
+    "pkg/a.py": """\
+        from repro._util.rng import derive_rng
+
+        def f(rng, year):
+            return derive_rng(rng, "year", year)
+    """,
+    "pkg/b.py": """\
+        from repro._util.rng import derive_rng
+
+        def g(rng):
+            return derive_rng(rng, "year", 2020)
+    """,
+}
+
+
+class TestRngKeysRule:
+    def test_colliding_keys_across_modules_flagged(self, tmp_path):
+        diags, _, _ = run_project(tmp_path, RPR006_COLLIDING)
+        assert codes(diags) == ["RPR006"]
+        assert "collide" in diags[0].message
+        assert "pkg/a.py" in diags[0].message
+
+    def test_ambiguous_key_flagged(self, tmp_path):
+        files = {
+            "pkg/__init__.py": "",
+            "pkg/a.py": """\
+                from repro._util.rng import derive_rng
+
+                def f(rng, year):
+                    return derive_rng(rng, year)
+            """,
+        }
+        diags, _, _ = run_project(tmp_path, files)
+        assert codes(diags) == ["RPR006"]
+        assert "no constant leading key token" in diags[0].message
+
+    def test_distinct_labels_clean(self, tmp_path):
+        files = {
+            "pkg/__init__.py": "",
+            "pkg/a.py": """\
+                from repro._util.rng import derive_rng
+
+                def f(rng, year):
+                    a = derive_rng(rng, "alpha", year)
+                    b = derive_rng(rng, "beta", year)
+                    return a, b
+            """,
+        }
+        diags, _, _ = run_project(tmp_path, files)
+        assert diags == []
+
+    def test_rng_exempt_paths_skipped(self, tmp_path):
+        diags, _, _ = run_project(
+            tmp_path, RPR006_COLLIDING, rng_exempt=["pkg/a.py", "pkg/b.py"]
+        )
+        assert diags == []
+
+    def test_suppression_comment_silences(self, tmp_path):
+        files = dict(RPR006_COLLIDING)
+        files["pkg/b.py"] = """\
+            from repro._util.rng import derive_rng
+
+            def g(rng):
+                return derive_rng(rng, "year", 2020)  # repro-lint: disable=RPR006
+        """
+        diags, _, _ = run_project(tmp_path, files)
+        assert diags == []
+
+
+# ---------------------------------------------------------------------------
+# RPR007: process-boundary purity
+# ---------------------------------------------------------------------------
+
+
+RPR007_FILES = {
+    "pkg/__init__.py": "",
+    "pkg/state.py": """\
+        CACHE = {}
+
+        def helper(x):
+            CACHE[x] = x
+            return x
+    """,
+    "pkg/parallel.py": """\
+        import os
+        from concurrent.futures import ProcessPoolExecutor
+
+        from pkg.state import helper
+
+        def task(x):
+            helper(x)
+            return os.urandom(4)
+
+        def run(items):
+            with ProcessPoolExecutor() as pool:
+                futures = [pool.submit(task, x) for x in items]
+            return [f.result() for f in futures]
+    """,
+}
+
+
+class TestProcessSafetyRule:
+    def test_submitted_function_reaching_global_and_randomness(self, tmp_path):
+        diags, _, _ = run_project(
+            tmp_path, RPR007_FILES, executor_modules=["pkg/parallel.py"]
+        )
+        assert codes(diags) == ["RPR007", "RPR007"]
+        messages = "\n".join(d.message for d in diags)
+        assert "CACHE" in messages  # via task -> helper, cross-module
+        assert "os.urandom" in messages
+        assert all(d.path == "pkg/parallel.py" for d in diags)
+
+    def test_out_of_scope_module_ignored(self, tmp_path):
+        diags, _, _ = run_project(tmp_path, RPR007_FILES)
+        assert diags == []  # default executor-modules is exec/parallel.py
+
+    def test_pure_task_clean(self, tmp_path):
+        files = {
+            "pkg/__init__.py": "",
+            "pkg/parallel.py": """\
+                from concurrent.futures import ProcessPoolExecutor
+
+                def task(x, table):
+                    return table[x] + 1
+
+                def run(items, table):
+                    with ProcessPoolExecutor() as pool:
+                        futures = [pool.submit(task, x, table) for x in items]
+                    return [f.result() for f in futures]
+            """,
+        }
+        diags, _, _ = run_project(
+            tmp_path, files, executor_modules=["pkg/parallel.py"]
+        )
+        assert diags == []
+
+    def test_live_exec_parallel_worker_is_pure(self):
+        """Satellite audit: the real fan-out worker stays submittable."""
+        config = LintConfig(root=REPO_ROOT)
+        diags, project, _ = lint_repository(
+            config,
+            paths=[REPO_ROOT / "src" / "repro" / "exec"],
+            use_cache=False,
+        )
+        parallel = project.modules["src/repro/exec/parallel.py"]
+        assert [s.callee for s in parallel.submit_sites] == [
+            "repro.exec.parallel._simulate_year_task"
+        ]
+        assert not [d for d in diags if d.code == "RPR007"]
+
+
+# ---------------------------------------------------------------------------
+# RPR008: persisted-schema drift
+# ---------------------------------------------------------------------------
+
+
+def store_source(fields, version=1):
+    keys = ", ".join(f'"{k}": 0' for k in fields)
+    return (
+        f"STORE_SCHEMA_VERSION = {version}\n\n\n"
+        "class Store:\n"
+        "    def snapshot(self):\n"
+        f"        return {{{keys}}}\n"
+    )
+
+
+RPR008_SITE = "pkg/store.py:Store.snapshot:pkg/store.py:STORE_SCHEMA_VERSION"
+
+
+class TestSchemaDriftRule:
+    def _config(self, tmp_path):
+        return dict(
+            schema_sites=[RPR008_SITE],
+            schema_manifest="lint-schema.json",
+        )
+
+    def _write_manifest(self, tmp_path, files, **cfg_kwargs):
+        _, project, _ = run_project(tmp_path, files, **cfg_kwargs)
+        config = LintConfig(
+            root=tmp_path, paths=["pkg"], disable=FILE_RULES, **cfg_kwargs
+        )
+        write_manifest(
+            tmp_path / "lint-schema.json", collect_sites(project, config)
+        )
+
+    def test_missing_manifest_entry_is_error(self, tmp_path):
+        files = {"pkg/__init__.py": "", "pkg/store.py": store_source(["a"])}
+        diags, _, _ = run_project(tmp_path, files, **self._config(tmp_path))
+        assert codes(diags) == ["RPR008"]
+        assert "not recorded" in diags[0].message
+
+    def test_recorded_schema_is_clean(self, tmp_path):
+        files = {"pkg/__init__.py": "", "pkg/store.py": store_source(["a", "b"])}
+        cfg = self._config(tmp_path)
+        self._write_manifest(tmp_path, files, **cfg)
+        diags, _, _ = run_project(tmp_path, files, **cfg)
+        assert diags == []
+
+    def test_drift_without_version_bump_is_error(self, tmp_path):
+        cfg = self._config(tmp_path)
+        files = {"pkg/__init__.py": "", "pkg/store.py": store_source(["a", "b"])}
+        self._write_manifest(tmp_path, files, **cfg)
+        files["pkg/store.py"] = store_source(["a", "b", "c"])
+        diags, _, _ = run_project(tmp_path, files, **cfg)
+        assert codes(diags) == ["RPR008"]
+        assert diags[0].severity is Severity.ERROR
+        assert "+c" in diags[0].message
+        assert "STORE_SCHEMA_VERSION" in diags[0].message
+
+    def test_drift_with_version_bump_is_warning(self, tmp_path):
+        cfg = self._config(tmp_path)
+        files = {"pkg/__init__.py": "", "pkg/store.py": store_source(["a", "b"])}
+        self._write_manifest(tmp_path, files, **cfg)
+        files["pkg/store.py"] = store_source(["a", "b", "c"], version=2)
+        diags, _, _ = run_project(tmp_path, files, **cfg)
+        assert codes(diags) == ["RPR008"]
+        assert diags[0].severity is Severity.WARNING
+        assert "--update-schema-manifest" in diags[0].message
+
+    def test_field_removal_detected(self, tmp_path):
+        cfg = self._config(tmp_path)
+        files = {"pkg/__init__.py": "", "pkg/store.py": store_source(["a", "b"])}
+        self._write_manifest(tmp_path, files, **cfg)
+        files["pkg/store.py"] = store_source(["a"])
+        diags, _, _ = run_project(tmp_path, files, **cfg)
+        assert codes(diags) == ["RPR008"]
+        assert "-b" in diags[0].message
+
+    def test_live_tree_manifest_matches(self):
+        """Satellite audit: the committed manifest matches the tree, and
+        every persisted store is covered by a schema site."""
+        from repro.lint.config import load_config
+
+        config = load_config(REPO_ROOT / "pyproject.toml")
+        _, project, _ = lint_repository(
+            config, paths=[REPO_ROOT / "src" / "repro"], use_cache=False
+        )
+        sites = collect_sites(project, config)
+        assert set(sites) == {
+            "exec/cache.py:CaptureCache.store.meta",
+            "stream/incremental.py:IncrementalScanIdentifier.snapshot",
+            "telescope/trace.py:_COLUMN_ORDER",
+        }
+        committed = json.loads(
+            (REPO_ROOT / "lint-schema.json").read_text()
+        )
+        assert committed["sites"] == sites
+
+    def test_fingerprint_is_order_independent(self):
+        assert fingerprint_fields(["b", "a"]) == fingerprint_fields(["a", "b"])
+        assert fingerprint_fields(["a"]) != fingerprint_fields(["a", "b"])
+
+
+# ---------------------------------------------------------------------------
+# RPR009: interprocedural batch-column mutation
+# ---------------------------------------------------------------------------
+
+
+RPR009_FILES = {
+    "pkg/__init__.py": "",
+    "pkg/mut.py": """\
+        def scramble(arr):
+            arr.sort()
+            return arr
+    """,
+    "pkg/use.py": """\
+        from pkg.mut import scramble
+
+        def summarise(batch):
+            return scramble(batch.src_ip)
+    """,
+}
+
+
+class TestBatchColumnFlowRule:
+    def test_cross_module_mutation_flagged(self, tmp_path):
+        diags, _, _ = run_project(tmp_path, RPR009_FILES)
+        assert codes(diags) == ["RPR009"]
+        assert diags[0].path == "pkg/use.py"
+        assert "src_ip" in diags[0].message
+        assert "scramble" in diags[0].message
+
+    def test_transitive_forwarding_flagged(self, tmp_path):
+        files = dict(RPR009_FILES)
+        files["pkg/use.py"] = """\
+            from pkg.mut import scramble
+
+            def outer(col):
+                return scramble(col)
+
+            def summarise(batch):
+                return outer(batch.src_ip)
+        """
+        diags, _, _ = run_project(tmp_path, files)
+        assert codes(diags) == ["RPR009"]
+        assert "outer" in diags[0].message
+
+    def test_pure_callee_clean(self, tmp_path):
+        files = dict(RPR009_FILES)
+        files["pkg/mut.py"] = """\
+            def scramble(arr):
+                out = arr.copy()
+                out.sort()
+                return out
+        """
+        diags, _, _ = run_project(tmp_path, files)
+        assert diags == []
+
+    def test_method_receiver_shift(self, tmp_path):
+        files = {
+            "pkg/__init__.py": "",
+            "pkg/cls.py": """\
+                class Helper:
+                    def mutate(self, arr):
+                        arr.fill(0)
+                        return arr
+
+                    def run(self, batch):
+                        return self.mutate(batch.ttl)
+            """,
+        }
+        diags, _, _ = run_project(tmp_path, files)
+        assert codes(diags) == ["RPR009"]
+        assert "'arr'" in diags[0].message
+
+    def test_immutability_exempt_path_skipped(self, tmp_path):
+        diags, _, _ = run_project(
+            tmp_path, RPR009_FILES, immutability_exempt=["pkg/use.py"]
+        )
+        assert diags == []
+
+
+# ---------------------------------------------------------------------------
+# caching & parallel pass
+# ---------------------------------------------------------------------------
+
+
+class TestSummaryCache:
+    def _run(self, tmp_path, cache_dir):
+        config = LintConfig(root=tmp_path, paths=["pkg"], disable=FILE_RULES)
+        return lint_repository(
+            config, workers=0, cache_dir=cache_dir, use_cache=True
+        )
+
+    def test_cold_then_warm_then_invalidation(self, tmp_path):
+        write_tree(tmp_path, RPR006_COLLIDING)
+        cache_dir = tmp_path / ".cache"
+
+        cold_diags, _, cold = self._run(tmp_path, cache_dir)
+        assert (cold.cache_hits, cold.cache_misses) == (0, 3)
+
+        warm_diags, _, warm = self._run(tmp_path, cache_dir)
+        assert (warm.cache_hits, warm.cache_misses) == (3, 0)
+        assert warm.parsed == 0
+        assert warm_diags == cold_diags
+
+        # Editing one file invalidates exactly that file's entry.
+        target = tmp_path / "pkg" / "b.py"
+        target.write_text(
+            target.read_text().replace('"year"', '"season"'), encoding="utf-8"
+        )
+        edited_diags, _, edited = self._run(tmp_path, cache_dir)
+        assert (edited.cache_hits, edited.cache_misses) == (2, 1)
+        assert edited_diags == []  # collision resolved by the edit
+
+    def test_config_change_invalidates(self, tmp_path):
+        write_tree(tmp_path, RPR006_COLLIDING)
+        cache_dir = tmp_path / ".cache"
+        self._run(tmp_path, cache_dir)
+
+        config = LintConfig(
+            root=tmp_path, paths=["pkg"], disable=FILE_RULES,
+            rng_exempt=["pkg/a.py"],
+        )
+        _, _, stats = lint_repository(
+            config, cache_dir=cache_dir, use_cache=True
+        )
+        assert stats.cache_hits == 0  # different config fingerprint
+
+    def test_corrupt_cache_entry_is_a_miss(self, tmp_path):
+        write_tree(tmp_path, RPR006_COLLIDING)
+        cache_dir = tmp_path / ".cache"
+        diags, _, _ = self._run(tmp_path, cache_dir)
+        for entry in cache_dir.glob("*.lint.json"):
+            entry.write_text("{not json", encoding="utf-8")
+        rerun_diags, _, stats = self._run(tmp_path, cache_dir)
+        assert stats.cache_misses == 3
+        assert rerun_diags == diags
+
+
+class TestWorkerEquivalence:
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_diagnostics_identical_at_any_worker_count(
+        self, tmp_path, workers
+    ):
+        files = {**RPR006_COLLIDING, **{
+            k: v for k, v in RPR009_FILES.items() if k != "pkg/__init__.py"
+        }}
+        write_tree(tmp_path, files)
+        config = LintConfig(root=tmp_path, paths=["pkg"], disable=FILE_RULES)
+        serial, _, _ = lint_repository(config, workers=0, use_cache=False)
+        parallel, _, _ = lint_repository(
+            config, workers=workers, use_cache=False
+        )
+        assert sorted(codes(serial)) == ["RPR006", "RPR009"]
+        assert parallel == serial
+
+
+# ---------------------------------------------------------------------------
+# CLI: SARIF, --update-baseline, --update-schema-manifest
+# ---------------------------------------------------------------------------
+
+
+def write_cli_project(tmp_path, files):
+    write_tree(tmp_path, files)
+    disable = ", ".join(f'"{c}"' for c in FILE_RULES)
+    (tmp_path / "pyproject.toml").write_text(textwrap.dedent(f"""\
+        [tool.repro-lint]
+        paths = ["pkg"]
+        disable = [{disable}]
+        cache = ""
+        schema-sites = []
+    """), encoding="utf-8")
+    return tmp_path / "pyproject.toml"
+
+
+class TestCli:
+    def test_sarif_output_matches_golden(self, tmp_path, capsys):
+        pyproject = write_cli_project(tmp_path, RPR006_COLLIDING)
+        out_file = tmp_path / "lint.sarif"
+        status = main([
+            "--config", str(pyproject),
+            "--format", "sarif", "--output", str(out_file),
+            "--no-baseline",
+        ])
+        capsys.readouterr()
+        assert status == 1
+        produced = json.loads(out_file.read_text())
+        # The driver version tracks the library; normalise for the golden.
+        produced["runs"][0]["tool"]["driver"]["version"] = "0.0.0"
+        golden = json.loads(GOLDEN_SARIF.read_text())
+        assert produced == golden
+
+    def test_sarif_results_cover_all_registered_rules(self):
+        sarif = to_sarif([], REGISTRY)
+        rule_ids = [r["id"] for r in sarif["runs"][0]["tool"]["driver"]["rules"]]
+        assert rule_ids == [f"RPR00{i}" for i in range(1, 10)]
+
+    def test_update_baseline_prunes_stale_entry(self, tmp_path, capsys):
+        pyproject = write_cli_project(tmp_path, RPR006_COLLIDING)
+
+        status = main(["--config", str(pyproject), "--write-baseline"])
+        capsys.readouterr()
+        assert status == 0
+        baseline_path = tmp_path / "lint-baseline.json"
+        assert len(Baseline.load(baseline_path).entries) == 1
+
+        # Fix the collision: the baselined entry goes stale.
+        target = tmp_path / "pkg" / "b.py"
+        target.write_text(
+            target.read_text().replace('"year"', '"season"'), encoding="utf-8"
+        )
+        status = main(["--config", str(pyproject), "--update-baseline"])
+        out = capsys.readouterr().out
+        assert status == 1
+        assert "pruned stale baseline entry" in out
+        assert Baseline.load(baseline_path).entries == set()
+
+        # A second update run is clean and exits 0.
+        status = main(["--config", str(pyproject), "--update-baseline"])
+        capsys.readouterr()
+        assert status == 0
+
+    def test_update_schema_manifest_cli(self, tmp_path, capsys):
+        files = {"pkg/__init__.py": "", "pkg/store.py": store_source(["a"])}
+        write_tree(tmp_path, files)
+        (tmp_path / "pyproject.toml").write_text(textwrap.dedent(f"""\
+            [tool.repro-lint]
+            paths = ["pkg"]
+            disable = [{", ".join(f'"{c}"' for c in FILE_RULES)}]
+            cache = ""
+            schema-sites = ["{RPR008_SITE}"]
+        """), encoding="utf-8")
+        pyproject = tmp_path / "pyproject.toml"
+
+        status = main([
+            "--config", str(pyproject), "--no-baseline",
+        ])
+        capsys.readouterr()
+        assert status == 1  # unrecorded schema site
+
+        status = main(["--config", str(pyproject), "--update-schema-manifest"])
+        capsys.readouterr()
+        assert status == 0
+        manifest = json.loads((tmp_path / "lint-schema.json").read_text())
+        assert "pkg/store.py:Store.snapshot" in manifest["sites"]
+
+        status = main(["--config", str(pyproject), "--no-baseline"])
+        capsys.readouterr()
+        assert status == 0
+
+    def test_workers_flag_matches_serial(self, tmp_path, capsys):
+        pyproject = write_cli_project(tmp_path, RPR006_COLLIDING)
+        outputs = []
+        for flags in ([], ["--workers", "2"]):
+            status = main([
+                "--config", str(pyproject), "--no-baseline",
+                "--format", "json", *flags,
+            ])
+            assert status == 1
+            payload = json.loads(capsys.readouterr().out)
+            outputs.append(payload["findings"])
+        assert outputs[0] == outputs[1]
+
+
+class TestBaselineVersionError:
+    def test_load_names_both_versions(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "entries": []}))
+        with pytest.raises(ValueError) as excinfo:
+            Baseline.load(path)
+        message = str(excinfo.value)
+        assert "99" in message
+        assert "version 1" in message
+        assert str(path) in message

@@ -5,13 +5,18 @@ identifier must reproduce batch ``identify_scans`` column by column at any
 window size, and still after a kill-and-resume through a checkpoint.
 """
 
+import json
+
 import numpy as np
 import pytest
 
+from repro import __version__ as repro_version
 from repro.core.campaigns import CampaignCriteria, identify_scans
 from repro.stream import (
     BatchStreamSource,
     CheckpointStore,
+    CheckpointVersionError,
+    STREAM_SCHEMA_VERSION,
     IncrementalScanIdentifier,
     IterStreamSource,
     StreamConfig,
@@ -269,6 +274,41 @@ class TestCheckpointResume:
         path = store.path_for("abc123")
         path.rename(store.path_for("def456"))
         assert store.load("def456") is None
+
+    def test_version_mismatch_names_both_versions_and_path(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        identifier = IncrementalScanIdentifier()
+        identifier.consume(ordered_batch(500))
+        path = store.save("abc123", identifier.snapshot())
+
+        # Rewrite the embedded meta as if an older build had written it.
+        with np.load(path, allow_pickle=False) as payload:
+            arrays = {name: payload[name] for name in payload.files}
+        meta = json.loads(str(arrays["checkpoint_meta"]))
+        meta["schema"], meta["version"] = 0, "0.0.1"
+        arrays["checkpoint_meta"] = np.array(json.dumps(meta, sort_keys=True))
+        with open(path, "wb") as fh:
+            np.savez(fh, **arrays)
+
+        # Default: a miss, with the reason recorded on the store.
+        assert store.load("abc123") is None
+        message = store.last_mismatch
+        assert message is not None
+        assert str(path) in message
+        assert "schema 0" in message and "'0.0.1'" in message
+        assert f"schema {STREAM_SCHEMA_VERSION!r}" in message
+        assert repro_version in message
+
+        # strict=True: same message, raised.
+        with pytest.raises(CheckpointVersionError) as excinfo:
+            store.load("abc123", strict=True)
+        assert str(excinfo.value) == message
+
+        # A successful load clears the recorded mismatch.
+        good = store.save("good", identifier.snapshot())
+        assert good.exists()
+        assert store.load("good") is not None
+        assert store.last_mismatch is None
 
     def test_snapshot_restore_round_trip(self, batch2020, scans2020):
         source = BatchStreamSource(batch2020, batch_size=8192)

@@ -88,6 +88,19 @@ class TestFormatErrors:
             with TraceReader(path) as r:
                 list(r)
 
+    def test_version_mismatch_names_both_versions_and_path(self, tmp_path):
+        # Same RTRACE family, different revision: the error must name the
+        # found version, the supported version, and the offending file.
+        path = tmp_path / "old.rtrace"
+        path.write_bytes(b"RTRACE99" + b"\x00" * 10)
+        with pytest.raises(TraceFormatError) as excinfo:
+            with TraceReader(path) as r:
+                list(r)
+        message = str(excinfo.value)
+        assert "RTRACE99" in message
+        assert "RTRACE01" in message
+        assert str(path) in message
+
     def test_truncated_meta(self, tmp_path):
         path = tmp_path / "trunc.rtrace"
         path.write_bytes(b"RTRACE01" + struct.pack("<I", 100) + b"{}")
