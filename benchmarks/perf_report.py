@@ -7,15 +7,23 @@ and diff across commits.  Usage::
 
     PYTHONPATH=src python benchmarks/perf_report.py [--out BENCH_performance.json]
 
+With ``--check-against BASELINE`` the run doubles as a regression gate:
+after regenerating the medians it compares each benchmark against the
+committed baseline document and exits 1 when any median regressed by more
+than ``--tolerance`` (default 0.30, i.e. 30%).  The ``REPRO_BENCH_*``
+environment knobs (see ``conftest.py``) are embedded in the JSON; when the
+baseline was produced under different knobs the numbers are not comparable,
+so the gate warns and passes instead of failing on apples-to-oranges data.
+
 The heavy decade fixture is shared with the other benchmarks, so the same
-``REPRO_BENCH_*`` environment knobs (see ``conftest.py``) shrink this run
-for smoke testing.
+``REPRO_BENCH_*`` knobs shrink this run for smoke testing.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import subprocess
 import sys
 import tempfile
@@ -23,6 +31,15 @@ from pathlib import Path
 
 BENCH_DIR = Path(__file__).parent
 DEFAULT_OUT = BENCH_DIR.parent / "BENCH_performance.json"
+
+#: Fixture-scale knobs that make two runs comparable (conftest.py reads
+#: these); recorded in the summary so the gate can refuse mismatched diffs.
+ENV_KNOBS = (
+    "REPRO_BENCH_DAYS",
+    "REPRO_BENCH_MAX_PACKETS",
+    "REPRO_BENCH_WORKERS",
+    "REPRO_BENCH_CACHE",
+)
 
 
 def run_benchmarks(raw_json: Path) -> int:
@@ -58,8 +75,53 @@ def summarise(raw_json: Path) -> dict:
         "machine": data.get("machine_info", {}).get("node", "unknown"),
         "python": data.get("machine_info", {}).get("python_version", ""),
         "datetime": data.get("datetime", ""),
+        "env": {knob: os.environ.get(knob, "") for knob in ENV_KNOBS},
         "benchmarks": out,
     }
+
+
+def check_regressions(summary: dict, baseline: dict, tolerance: float) -> int:
+    """Compare medians against a committed baseline document.
+
+    Returns the number of hard regressions (median slower than the
+    baseline's by more than ``tolerance``).  A knob mismatch makes the two
+    documents incomparable: warn and report zero regressions (fail-soft),
+    so a deliberate fixture-scale change does not brick CI before the
+    baseline is regenerated.
+    """
+    baseline_env = baseline.get("env", {})
+    current_env = summary["env"]
+    if baseline_env != current_env:
+        print(
+            "perf gate: baseline env knobs "
+            f"{baseline_env} != current {current_env}; "
+            "numbers are not comparable — skipping the regression check "
+            "(regenerate and commit the baseline to re-arm the gate)",
+            file=sys.stderr,
+        )
+        return 0
+
+    regressions = 0
+    for name, stats in sorted(summary["benchmarks"].items()):
+        base = baseline.get("benchmarks", {}).get(name)
+        if base is None:
+            print(f"perf gate: {name}: new benchmark, no baseline (ok)")
+            continue
+        old, new = base["median_s"], stats["median_s"]
+        ratio = new / old if old > 0 else float("inf")
+        verdict = "ok"
+        if ratio > 1.0 + tolerance:
+            verdict = "REGRESSION"
+            regressions += 1
+        print(
+            f"perf gate: {name}: {old * 1e3:.2f} ms -> {new * 1e3:.2f} ms "
+            f"({ratio:.2f}x baseline, tolerance {1.0 + tolerance:.2f}x) "
+            f"{verdict}"
+        )
+    for name in sorted(baseline.get("benchmarks", {})):
+        if name not in summary["benchmarks"]:
+            print(f"perf gate: {name}: dropped from the suite", file=sys.stderr)
+    return regressions
 
 
 def main(argv=None) -> int:
@@ -68,7 +130,24 @@ def main(argv=None) -> int:
                         help="summary JSON path")
     parser.add_argument("--raw", type=Path, default=None,
                         help="keep pytest-benchmark's full export here")
+    parser.add_argument("--check-against", type=Path, default=None,
+                        help="committed baseline JSON to gate against "
+                             "(exit 1 on any median regressing past the "
+                             "tolerance)")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional median slowdown "
+                             "(default 0.30)")
     args = parser.parse_args(argv)
+
+    # Read the baseline up front: --out and --check-against may be the same
+    # path (regenerate-in-place), so capture it before overwriting.
+    baseline = None
+    if args.check_against is not None:
+        if args.check_against.is_file():
+            baseline = json.loads(args.check_against.read_text())
+        else:
+            print(f"perf gate: no baseline at {args.check_against}; "
+                  "gate disarmed for this run", file=sys.stderr)
 
     with tempfile.TemporaryDirectory() as tmp:
         raw_json = args.raw or Path(tmp) / "raw.json"
@@ -87,6 +166,13 @@ def main(argv=None) -> int:
             line += (f"  ({extra['stream_packets_per_s']:,} pps, "
                      f"peak RSS {extra['peak_rss_bytes'] / 1e6:.0f} MB)")
         print(line)
+
+    if baseline is not None:
+        regressions = check_regressions(summary, baseline, args.tolerance)
+        if regressions:
+            print(f"perf gate: {regressions} benchmark(s) regressed past "
+                  f"+{args.tolerance:.0%}", file=sys.stderr)
+            return 1
     return 0
 
 

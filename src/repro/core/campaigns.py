@@ -375,7 +375,9 @@ def _grouped_value_counts(
     single flat sort replace a per-group ``np.unique`` loop.  Returns
     ``(g, v, counts)`` with pairs ordered by group then ascending value.
     """
-    key = (group.astype(np.int64) << 16) | values.astype(np.int64)
+    # group ids are packet-index-bounded (< 2**32 even at Merit scale), so
+    # group << 16 stays well inside int64.
+    key = (group.astype(np.int64) << 16) | values.astype(np.int64)  # repro-lint: disable=RPR011
     key.sort()
     first = np.empty(key.size, dtype=bool)
     first[0] = True
@@ -540,7 +542,9 @@ def identify_scans(
     # than the equivalent two-pass lexsort on large captures.
     sub_session = session_of_packet[cand_packets]
     sub_dst = batch.dst_ip[order][cand_packets]
-    packed = (sub_session.astype(np.uint64) << np.uint64(32)) | sub_dst.astype(
+    # Session ids are bounded by the capture's packet count (< 2**32), so
+    # session << 32 | dst cannot wrap the uint64 key.
+    packed = (sub_session.astype(np.uint64) << np.uint64(32)) | sub_dst.astype(  # repro-lint: disable=RPR011
         np.uint64
     )
     packed.sort()

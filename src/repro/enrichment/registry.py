@@ -182,7 +182,9 @@ class InternetRegistry:
         firsts = np.array([self._records[i].block.first for i in indices], dtype=np.uint64)
         sizes = np.array([self._records[i].block.size for i in indices], dtype=np.uint64)
         offsets = (generator.random(count) * sizes[chosen].astype(float)).astype(np.uint64)
-        return (firsts[chosen] + offsets).astype(np.uint32)
+        # Block firsts and in-block offsets are both < 2**32 (IPv4), so the
+        # uint64 sum cannot wrap and the result fits uint32.
+        return (firsts[chosen] + offsets).astype(np.uint32)  # repro-lint: disable=RPR011
 
     def sample_addresses(
         self,

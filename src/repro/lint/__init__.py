@@ -16,18 +16,27 @@ RPR006    rng-key-paths         derive_rng keys constant and collision-free
 RPR007    process-safety        executor-submitted functions stay pure
 RPR008    schema-drift          persisted fields match the schema manifest
 RPR009    batch-column-flow     no interprocedural batch-column mutation
+RPR010    narrowing-cast        casts never truncate tracked column values
+RPR011    overflow-arithmetic   packed-key arithmetic fits its dtype
+RPR012    unit-mixing           seconds/packets/bytes/... never mix silently
+RPR013    persisted-dtype-drift serialised layouts match declared columns
+RPR014    float-accumulation    timestamps accumulate in float64
 ========  ====================  ===============================================
 
 RPR001–005 are per-file syntactic rules; RPR006–009 are whole-program
 rules that run over the :class:`~repro.lint.project.ProjectContext` built
-by the two-pass analyzer in :mod:`repro.lint.project` (per-file summaries
-are content-addressed-cached and parsed in parallel under ``--workers``).
+by the analyzer in :mod:`repro.lint.project` (per-file summaries are
+content-addressed-cached and parsed in parallel under ``--workers``);
+RPR010–014 are the third pass — interprocedural dtype/width/unit abstract
+interpretation in :mod:`repro.lint.typeflow`, running purely over the
+cached summaries.
 
 Run ``python -m repro.lint`` (or the ``repro-lint`` console script);
-configure via ``[tool.repro-lint]`` in pyproject.toml; silence single lines
-with ``# repro-lint: disable=RPR00x``; grandfather findings in
-``lint-baseline.json``; commit persisted-schema fingerprints to
-``lint-schema.json`` via ``--update-schema-manifest``.
+configure via ``[tool.repro-lint]`` in pyproject.toml (path-scoped rule
+sets via ``[tool.repro-lint.paths]``); scope runs with ``--select`` /
+``--ignore``; silence single lines with ``# repro-lint: disable=RPR00x``;
+grandfather findings in ``lint-baseline.json``; commit persisted-schema
+fingerprints to ``lint-schema.json`` via ``--update-schema-manifest``.
 """
 
 from repro.lint.baseline import Baseline
@@ -53,11 +62,19 @@ from repro.lint.project import (
     run_project_rules,
     summarize_source,
 )
+from repro.lint.typeflow import (
+    AbstractValue,
+    TypeflowAnalysis,
+    lattice_fingerprint,
+)
 
 # Importing the rules package registers the rule set.
 import repro.lint.rules  # noqa: E402,F401
 
 __all__ = [
+    "AbstractValue",
+    "TypeflowAnalysis",
+    "lattice_fingerprint",
     "Baseline",
     "Diagnostic",
     "FileContext",

@@ -69,6 +69,17 @@ def build_parser() -> argparse.ArgumentParser:
              "schema manifest (lint-schema.json), then exit",
     )
     parser.add_argument(
+        "--select", default=None, metavar="CODES",
+        help="comma-separated rule-code prefixes to run exclusively "
+             "(flake8 semantics, e.g. --select RPR01 for the typeflow "
+             "family); overrides [tool.repro-lint] select",
+    )
+    parser.add_argument(
+        "--ignore", default=None, metavar="CODES",
+        help="comma-separated rule-code prefixes to skip (applied after "
+             "--select); overrides [tool.repro-lint] ignore",
+    )
+    parser.add_argument(
         "--format", choices=("text", "json", "sarif"), default="text",
         help="output format (default: text)",
     )
@@ -113,6 +124,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     try:
         config = _resolve_config(args)
+        if args.select is not None:
+            config.select = _parse_codes(args.select, "--select")
+        if args.ignore is not None:
+            config.ignore = _parse_codes(args.ignore, "--ignore")
         targets = _resolve_targets(args, config)
         workers = (
             args.workers if args.workers is not None
@@ -221,6 +236,18 @@ def _resolve_config(args: argparse.Namespace) -> LintConfig:
         return load_config(args.config)
     anchor = Path(args.paths[0]) if args.paths else Path.cwd()
     return load_config(find_pyproject(anchor))
+
+
+def _parse_codes(raw: str, flag: str) -> List[str]:
+    codes = [c.strip() for c in raw.split(",") if c.strip()]
+    if not codes:
+        raise ValueError(f"{flag} requires at least one rule-code prefix")
+    for code in codes:
+        if not code.startswith("RPR"):
+            raise ValueError(
+                f"{flag}: rule-code prefixes start with 'RPR', got {code!r}"
+            )
+    return codes
 
 
 def _resolve_targets(args: argparse.Namespace, config: LintConfig) -> List[Path]:

@@ -47,6 +47,13 @@ DEFAULT_SCHEMA_SITES = (
     "telescope/trace.py:_COLUMN_ORDER:telescope/trace.py:MAGIC",
 )
 
+#: Declared/serialised dtype-layout pairs for RPR013, each
+#: ``"<decl path>:<DECL_NAME>:<serialised path>:<SER_NAME>"``; the
+#: serialised side must spell explicit little-endian struct codes.
+DEFAULT_DTYPE_LAYOUTS = (
+    "telescope/packet.py:_COLUMNS:telescope/trace.py:_COLUMN_ORDER",
+)
+
 
 @dataclass
 class LintConfig:
@@ -58,6 +65,13 @@ class LintConfig:
     baseline: str = "lint-baseline.json"
     disable: List[str] = field(default_factory=list)
     warn: List[str] = field(default_factory=list)
+    #: flake8-style rule filters: run only codes matching a ``select``
+    #: prefix, then drop codes matching an ``ignore`` prefix.
+    select: List[str] = field(default_factory=list)
+    ignore: List[str] = field(default_factory=list)
+    #: per-path-prefix disabled rule-code prefixes, from the
+    #: ``[tool.repro-lint.paths]`` block (keys double as lint targets).
+    path_rules: Dict[str, List[str]] = field(default_factory=dict)
     rng_exempt: List[str] = field(default_factory=lambda: list(DEFAULT_RNG_EXEMPT))
     immutability_exempt: List[str] = field(
         default_factory=lambda: list(DEFAULT_IMMUTABILITY_EXEMPT)
@@ -75,6 +89,9 @@ class LintConfig:
     )
     executor_modules: List[str] = field(
         default_factory=lambda: list(DEFAULT_EXECUTOR_MODULES)
+    )
+    dtype_layouts: List[str] = field(
+        default_factory=lambda: list(DEFAULT_DTYPE_LAYOUTS)
     )
 
     def baseline_path(self) -> Path:
@@ -103,14 +120,29 @@ class LintConfig:
 
         return any(fnmatch(rel_path, pat) for pat in self.exclude)
 
+    def is_disabled_for(self, rel_path: str, code: str) -> bool:
+        """True when a path-scoped rule set silences ``code`` under the
+        longest matching ``[tool.repro-lint.paths]`` prefix."""
+        best: Optional[str] = None
+        for prefix in self.path_rules:
+            if rel_path.startswith(prefix.rstrip("/") + "/") or rel_path == prefix:
+                if best is None or len(prefix) > len(best):
+                    best = prefix
+        if best is None:
+            return False
+        return any(code.startswith(p) for p in self.path_rules[best])
+
     def to_payload(self, include_root: bool = True) -> Dict[str, object]:
         """JSON-serialisable form (for worker processes and cache keys)."""
-        payload: Dict[str, object] = {
-            attr: list(value) if isinstance(value, list) else value
-            for attr, value in (
-                (attr, getattr(self, attr)) for attr in _KEY_MAP.values()
-            )
-        }
+        payload: Dict[str, object] = {}
+        for attr in _KEY_MAP.values():
+            value = getattr(self, attr)
+            if isinstance(value, list):
+                payload[attr] = list(value)
+            elif isinstance(value, dict):
+                payload[attr] = {k: list(v) for k, v in value.items()}
+            else:
+                payload[attr] = value
         if include_root:
             payload["root"] = str(self.root)
         return payload
@@ -121,9 +153,11 @@ class LintConfig:
         for attr in _KEY_MAP.values():
             if attr in payload:
                 value = payload[attr]
-                setattr(
-                    cfg, attr, list(value) if isinstance(value, list) else value
-                )
+                if isinstance(value, list):
+                    value = list(value)
+                elif isinstance(value, dict):
+                    value = {k: list(v) for k, v in value.items()}
+                setattr(cfg, attr, value)
         if "root" in payload:
             cfg.root = Path(str(payload["root"]))
         return cfg
@@ -135,6 +169,9 @@ _KEY_MAP = {
     "baseline": "baseline",
     "disable": "disable",
     "warn": "warn",
+    "select": "select",
+    "ignore": "ignore",
+    "path-rules": "path_rules",
     "rng-exempt": "rng_exempt",
     "immutability-exempt": "immutability_exempt",
     "float-eq-paths": "float_eq_paths",
@@ -143,6 +180,7 @@ _KEY_MAP = {
     "schema-manifest": "schema_manifest",
     "schema-sites": "schema_sites",
     "executor-modules": "executor_modules",
+    "dtype-layouts": "dtype_layouts",
 }
 
 
@@ -156,7 +194,28 @@ def load_config(pyproject: Optional[Path]) -> LintConfig:
         attr = _KEY_MAP.get(raw_key, _KEY_MAP.get(raw_key.replace("_", "-")))
         if attr is None:
             raise ValueError(f"[tool.{SECTION}]: unknown key {raw_key!r}")
+        if raw_key == "paths" and isinstance(value, dict):
+            # ``[tool.repro-lint.paths]`` block: keys are lint targets,
+            # values are rule-code prefixes disabled under that prefix.
+            rules: Dict[str, List[str]] = {}
+            for prefix, codes in value.items():
+                if not isinstance(codes, list) or not all(
+                    isinstance(c, str) for c in codes
+                ):
+                    raise ValueError(
+                        f"[tool.{SECTION}.paths].{prefix!r} must be a "
+                        "string array of rule-code prefixes"
+                    )
+                rules[prefix] = list(codes)
+            cfg.paths = list(rules)
+            cfg.path_rules = rules
+            continue
         current = getattr(cfg, attr)
+        if isinstance(current, dict):
+            raise ValueError(
+                f"[tool.{SECTION}].{raw_key} must be set via the "
+                f"[tool.{SECTION}.paths] block"
+            )
         if isinstance(current, list):
             if not isinstance(value, list) or not all(
                 isinstance(v, str) for v in value
@@ -195,36 +254,49 @@ def _read_tool_table(pyproject: Path) -> Dict[str, object]:
 
 
 def _fallback_parse(text: str) -> Dict[str, object]:
-    """Parse only the ``[tool.repro-lint]`` table from minimal TOML."""
+    """Parse the ``[tool.repro-lint]`` table (and its ``.<sub>`` subtables,
+    e.g. ``[tool.repro-lint.paths]``) from minimal TOML."""
     table: Dict[str, object] = {}
-    in_section = False
+    target: Optional[Dict[str, object]] = None  # None = outside our tables
     pending_key: Optional[str] = None
     pending_chunks: List[str] = []
     for raw_line in text.splitlines():
         line = raw_line.strip()
-        if pending_key is not None:
+        if pending_key is not None and target is not None:
             pending_chunks.append(line)
             joined = " ".join(pending_chunks)
             if _array_closed(joined):
-                table[pending_key] = _parse_array(joined)
+                target[pending_key] = _parse_array(joined)
                 pending_key, pending_chunks = None, []
             continue
         if line.startswith("["):
-            in_section = line == f"[tool.{SECTION}]"
+            if line == f"[tool.{SECTION}]":
+                target = table
+            elif line.startswith(f"[tool.{SECTION}."):
+                sub = line[len(f"[tool.{SECTION}."):].rstrip("]")
+                nested: Dict[str, object] = {}
+                table[sub] = nested
+                target = nested
+            else:
+                target = None
             continue
-        if not in_section or not line or line.startswith("#"):
+        if target is None or not line or line.startswith("#"):
             continue
-        match = re.match(r"^([A-Za-z0-9_-]+)\s*=\s*(.*)$", line)
+        match = re.match(
+            r'^("(?:[^"]*)"|[A-Za-z0-9_-]+)\s*=\s*(.*)$', line
+        )
         if not match:
             raise ValueError(f"[tool.{SECTION}]: cannot parse line {raw_line!r}")
         key, value = match.group(1), match.group(2).strip()
+        if key.startswith('"') and key.endswith('"'):
+            key = key[1:-1]
         if value.startswith("["):
             if _array_closed(value):
-                table[key] = _parse_array(value)
+                target[key] = _parse_array(value)
             else:
                 pending_key, pending_chunks = key, [value]
         else:
-            table[key] = _parse_string(value)
+            target[key] = _parse_string(value)
     if pending_key is not None:
         raise ValueError(f"[tool.{SECTION}].{pending_key}: unterminated array")
     return table

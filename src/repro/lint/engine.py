@@ -152,7 +152,20 @@ class RuleRegistry:
         return self._rules[code]
 
     def enabled(self, config: LintConfig) -> List[Rule]:
-        return [r for r in self.rules() if r.code not in config.disable]
+        """Rules that survive ``disable`` plus the flake8-style
+        ``select``/``ignore`` prefix filters."""
+        rules = [r for r in self.rules() if r.code not in config.disable]
+        if config.select:
+            rules = [
+                r for r in rules
+                if any(r.code.startswith(p) for p in config.select)
+            ]
+        if config.ignore:
+            rules = [
+                r for r in rules
+                if not any(r.code.startswith(p) for p in config.ignore)
+            ]
+        return rules
 
     def file_rules(self, config: LintConfig) -> List[Rule]:
         """Enabled per-file rules (the pass-2a syntactic walk)."""

@@ -40,9 +40,16 @@ from repro.lint.engine import (
     parse_suppressions,
 )
 from repro.lint._ast import BATCH_COLUMNS, import_aliases, resolve
+from repro.lint.typeflow import (
+    FunctionTypeflow,
+    TypeflowAnalysis,
+    TypeflowExtractor,
+    TypeflowFunction,
+    lattice_fingerprint,
+)
 
 #: Bump when the summary layout changes; every cache entry then misses.
-SUMMARY_SCHEMA_VERSION = 3
+SUMMARY_SCHEMA_VERSION = 4
 
 #: Canonical names whose call constructs a process pool.
 _POOL_CONSTRUCTORS = {
@@ -166,6 +173,8 @@ class FunctionSummary:
     ext_reads: List[Tuple[str, int]] = field(default_factory=list)
     #: (canonical target, lineno) — ambient randomness reached directly
     random_calls: List[Tuple[str, int]] = field(default_factory=list)
+    #: pass-3 dataflow record (events, returns, abstract call args)
+    typeflow: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -176,6 +185,7 @@ class FunctionSummary:
             "global_uses": [list(g) for g in self.global_uses],
             "ext_reads": [list(e) for e in self.ext_reads],
             "random_calls": [list(r) for r in self.random_calls],
+            "typeflow": self.typeflow,
         }
 
     @classmethod
@@ -189,6 +199,7 @@ class FunctionSummary:
             global_uses=[(g[0], g[1], int(g[2])) for g in data["global_uses"]],
             ext_reads=[(e[0], int(e[1])) for e in data["ext_reads"]],
             random_calls=[(r[0], int(r[1])) for r in data["random_calls"]],
+            typeflow=data.get("typeflow"),
         )
 
 
@@ -203,6 +214,9 @@ class ModuleSummary:
     constants: Dict[str, str] = field(default_factory=dict)
     #: persisted-field sets: qualname -> {'fields': [...], 'lineno': n}
     schema_fields: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: dtype layout tables (``_COLUMNS``/``_COLUMN_ORDER`` style):
+    #: name -> {'pairs': [[field, dtype-spelling], ...], 'lineno': n}
+    layouts: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     rng_sites: List[RngSite] = field(default_factory=list)
     submit_sites: List[SubmitSite] = field(default_factory=list)
     pool_sites: List[int] = field(default_factory=list)
@@ -227,6 +241,7 @@ class ModuleSummary:
             "mutable_globals": self.mutable_globals,
             "constants": self.constants,
             "schema_fields": self.schema_fields,
+            "layouts": self.layouts,
             "rng_sites": [s.to_dict() for s in self.rng_sites],
             "submit_sites": [s.to_dict() for s in self.submit_sites],
             "pool_sites": self.pool_sites,
@@ -248,6 +263,13 @@ class ModuleSummary:
             schema_fields={
                 q: {"fields": list(v["fields"]), "lineno": int(v["lineno"])}
                 for q, v in data["schema_fields"].items()
+            },
+            layouts={
+                name: {
+                    "pairs": [[p[0], p[1]] for p in v["pairs"]],
+                    "lineno": int(v["lineno"]),
+                }
+                for name, v in data.get("layouts", {}).items()
             },
             rng_sites=[RngSite.from_dict(s) for s in data["rng_sites"]],
             submit_sites=[SubmitSite.from_dict(s) for s in data["submit_sites"]],
@@ -342,6 +364,38 @@ def _pair_sequence_fields(node: ast.AST) -> Optional[List[str]]:
     return fields
 
 
+def _pair_sequence_layout(
+    node: ast.AST, aliases: Dict[str, str]
+) -> Optional[List[List[str]]]:
+    """(name, dtype-spelling) pairs of a ``_COLUMNS``-style table.
+
+    The dtype spelling is kept verbatim: a string literal (``"<u4"``,
+    endianness included) or the canonical dotted name of a numpy dtype
+    (``numpy.float64``); rows with a dynamic second element abort the
+    capture (the table is not a declared layout).
+    """
+    if not isinstance(node, (ast.Tuple, ast.List)) or not node.elts:
+        return None
+    pairs: List[List[str]] = []
+    for elt in node.elts:
+        if not (isinstance(elt, (ast.Tuple, ast.List)) and len(elt.elts) >= 2):
+            return None
+        head, dtype_node = elt.elts[0], elt.elts[1]
+        if not (isinstance(head, ast.Constant)
+                and isinstance(head.value, str)):
+            return None
+        if isinstance(dtype_node, ast.Constant) and isinstance(
+            dtype_node.value, str
+        ):
+            pairs.append([head.value, dtype_node.value])
+            continue
+        dotted = resolve(dtype_node, aliases)
+        if dotted is None:
+            return None
+        pairs.append([head.value, dotted])
+    return pairs
+
+
 def _is_mutable_value(node: ast.AST, aliases: Dict[str, str]) -> bool:
     if isinstance(node, (ast.Dict, ast.List, ast.Set,
                          ast.ListComp, ast.DictComp, ast.SetComp)):
@@ -427,6 +481,11 @@ class _Summarizer:
                         out.schema_fields[name] = {
                             "fields": fields, "lineno": node.lineno
                         }
+                    pairs = _pair_sequence_layout(value, self.aliases)
+                    if pairs is not None:
+                        out.layouts[name] = {
+                            "pairs": pairs, "lineno": node.lineno
+                        }
                 if isinstance(value, ast.Dict):
                     keys = _const_str_keys(value)
                     if keys is not None:
@@ -464,6 +523,16 @@ class _Summarizer:
                     dotted = self.aliases[node.id]
                     if "." in dotted:
                         fsum.ext_reads.append((dotted, node.lineno))
+
+        # Pass-3 dataflow record: expression IR + cast/arith/sink events,
+        # extracted now so warm runs never re-parse for typeflow.
+        flow = TypeflowExtractor(
+            params,
+            self.aliases,
+            lambda call: self._resolve_call(call, klass),
+        ).extract(func)
+        if flow.events or flow.returns or flow.calls:
+            fsum.typeflow = flow.to_dict()
 
         # Record dict literals returned / bound in this function as
         # persisted-schema candidates (keyed by qualname[.var]).
@@ -690,6 +759,7 @@ class ProjectContext:
                     summary, fsum
                 )
         self._mutated: Optional[Dict[str, Set[int]]] = None
+        self._typeflow: Optional[TypeflowAnalysis] = None
 
     # -- lookups ------------------------------------------------------------
 
@@ -757,6 +827,31 @@ class ProjectContext:
         self._mutated = table
         return table
 
+    # -- typeflow (pass 3) ---------------------------------------------------
+
+    def typeflow_analysis(self) -> TypeflowAnalysis:
+        """Solved interprocedural typeflow over every summarised function.
+
+        Memoised: the fixpoint runs once per lint invocation, purely over
+        the cached summaries (no AST access), so warm runs stay warm.
+        """
+        if self._typeflow is not None:
+            return self._typeflow
+        functions: Dict[str, TypeflowFunction] = {}
+        for name, (summary, fsum) in self._functions.items():
+            if fsum.typeflow is None:
+                continue
+            functions[name] = TypeflowFunction(
+                fqname=name,
+                rel_path=summary.rel_path,
+                params=list(fsum.params),
+                flow=FunctionTypeflow.from_dict(fsum.typeflow),
+            )
+        analysis = TypeflowAnalysis(functions)
+        analysis.solve()
+        self._typeflow = analysis
+        return analysis
+
 
 # ---------------------------------------------------------------------------
 # content-addressed per-file cache
@@ -785,6 +880,7 @@ class SummaryCache:
             "version": __version__,
             "rules": [r.code for r in registry.rules()],
             "config": config.to_payload(include_root=False),
+            "lattice": lattice_fingerprint(),
         }
         return json.dumps(material, sort_keys=True)
 
@@ -1008,4 +1104,9 @@ def lint_repository(
     )
     project_diags = run_project_rules(project, config, registry=registry)
     diagnostics = sorted(file_diags + project_diags, key=Diagnostic.sort_key)
+    if config.path_rules:
+        diagnostics = [
+            d for d in diagnostics
+            if not config.is_disabled_for(d.path, d.code)
+        ]
     return diagnostics, project, stats

@@ -11,6 +11,7 @@ from repro.lint.rules import (  # noqa: F401  (import-for-registration)
     process_safety,
     rng_keys,
     schema_drift,
+    typeflow_rules,
 )
 
 __all__ = [
@@ -23,4 +24,5 @@ __all__ = [
     "process_safety",
     "schema_drift",
     "batch_flow",
+    "typeflow_rules",
 ]

@@ -73,6 +73,7 @@ class MasscanModel(ScannerToolModel):
             | src_port.astype(np.uint64)
         )
         mixed ^= np.uint64(self._entropy)
-        mixed *= np.uint64(0xFF51AFD7ED558CCD)
+        with np.errstate(over="ignore"):  # wraparound is the mix
+            mixed *= np.uint64(0xFF51AFD7ED558CCD)
         mixed ^= mixed >> np.uint64(33)
         return (mixed & np.uint64(0xFFFFFFFF)).astype(np.uint32)

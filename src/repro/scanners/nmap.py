@@ -71,7 +71,8 @@ class NMapModel(ScannerToolModel):
     def _match_token(self, dst_ip: np.ndarray, dst_port: np.ndarray) -> np.ndarray:
         """16-bit per-probe token (keyed fold of the target tuple)."""
         mixed = dst_ip.astype(np.uint32) ^ (dst_port.astype(np.uint32) << np.uint32(8))
-        mixed *= np.uint32(0x9E3779B1)
+        with np.errstate(over="ignore"):  # wraparound is the fold
+            mixed *= np.uint32(0x9E3779B1)
         return ((mixed >> np.uint32(16)) & np.uint32(0xFFFF)).astype(np.uint16)
 
 

@@ -87,5 +87,6 @@ class ZMapModel(ScannerToolModel):
         """
         mixed = (dst_ip.astype(np.uint64) << np.uint64(16)) ^ dst_port.astype(np.uint64)
         mixed ^= np.uint64(self._validation_key)
-        mixed *= np.uint64(0x9E3779B97F4A7C15)
+        with np.errstate(over="ignore"):  # wraparound is the mix
+            mixed *= np.uint64(0x9E3779B97F4A7C15)
         return (mixed >> np.uint64(32)).astype(np.uint32)

@@ -1,0 +1,633 @@
+"""Tests for the typeflow pass (repro.lint.typeflow, RPR010-014).
+
+Each typeflow rule gets a seeded-violation fixture package plus a clean
+counterpart; the pass itself is exercised for cache invalidation when the
+unit lattice changes, worker-count independence, SARIF output against a
+golden file, ``--select``/``--ignore`` filtering, and the
+``[tool.repro-lint.paths]`` path-scoped rule sets.
+"""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    LintConfig,
+    lattice_fingerprint,
+    lint_repository,
+)
+from repro.lint.cli import main
+from repro.lint.config import _fallback_parse, load_config
+from repro.lint.typeflow import (
+    AbstractValue,
+    int_capacity,
+    parse_dtype,
+    promote_dtype,
+)
+
+GOLDEN_SARIF = Path(__file__).resolve().parent / "data" / "lint_typeflow_golden.sarif"
+
+#: File rules are exercised by tests/test_lint.py; fixtures here disable
+#: them so each assertion sees only the typeflow rule under test.
+FILE_RULES = ["RPR001", "RPR002", "RPR003", "RPR004", "RPR005"]
+
+
+def write_tree(root, files):
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+
+
+def run_project(tmp_path, files, **cfg_kwargs):
+    write_tree(tmp_path, files)
+    cfg_kwargs.setdefault("paths", ["pkg"])
+    cfg_kwargs.setdefault("disable", FILE_RULES)
+    cfg_kwargs.setdefault("dtype_layouts", [])
+    config = LintConfig(root=tmp_path, **cfg_kwargs)
+    diags, project, stats = lint_repository(config, use_cache=False)
+    return diags, project, stats
+
+
+def codes(diags):
+    return [d.code for d in diags]
+
+
+# ---------------------------------------------------------------------------
+# lattice primitives
+# ---------------------------------------------------------------------------
+
+
+class TestLattice:
+    def test_parse_dtype_struct_codes_and_endianness(self):
+        assert parse_dtype("<u4") == ("uint32", "<")
+        assert parse_dtype("u2") == ("uint16", None)
+        assert parse_dtype("float64") == ("float64", None)
+        assert parse_dtype("numpy.uint8") == ("uint8", None)
+        assert parse_dtype("not-a-dtype") == (None, None)
+
+    def test_int_capacity_loses_a_bit_when_signed(self):
+        assert int_capacity("uint64") == 64
+        assert int_capacity("int64") == 63
+        assert int_capacity("uint16") == 16
+
+    def test_promote_weak_literal_adapts_to_array_dtype(self):
+        arr = AbstractValue(dtype="uint32", bits=32)
+        lit = AbstractValue(dtype=None, bits=4)
+        assert promote_dtype(arr, lit) == "uint32"
+
+    def test_promote_signed_unsigned_mix_widens(self):
+        a = AbstractValue(dtype="uint32")
+        b = AbstractValue(dtype="int32")
+        assert promote_dtype(a, b) == "int64"
+
+    def test_fingerprint_is_stable(self):
+        assert lattice_fingerprint() == lattice_fingerprint()
+
+
+# ---------------------------------------------------------------------------
+# RPR010: narrowing casts
+# ---------------------------------------------------------------------------
+
+
+RPR010_FILES = {
+    "pkg/__init__.py": "",
+    "pkg/narrow.py": """\
+        import numpy as np
+
+        def shrink(batch):
+            ips = batch.src_ip
+            return ips.astype(np.uint16)
+    """,
+}
+
+
+class TestNarrowingCastRule:
+    def test_narrowing_cast_of_column_flagged(self, tmp_path):
+        diags, _, _ = run_project(tmp_path, RPR010_FILES)
+        assert codes(diags) == ["RPR010"]
+        assert "uint16" in diags[0].message
+        assert "src_ip" in diags[0].message
+
+    def test_widening_cast_clean(self, tmp_path):
+        files = dict(RPR010_FILES)
+        files["pkg/narrow.py"] = files["pkg/narrow.py"].replace(
+            "np.uint16", "np.uint64"
+        )
+        diags, _, _ = run_project(tmp_path, files)
+        assert diags == []
+
+    def test_cast_proven_to_fit_by_shift_clean(self, tmp_path):
+        files = {
+            "pkg/__init__.py": "",
+            "pkg/fold.py": """\
+                import numpy as np
+
+                def fold(batch):
+                    wide = batch.src_ip.astype(np.uint64)
+                    return (wide >> np.uint64(16)).astype(np.uint16)
+            """,
+        }
+        diags, _, _ = run_project(tmp_path, files)
+        assert diags == []
+
+
+# ---------------------------------------------------------------------------
+# RPR011: overflow-risk arithmetic
+# ---------------------------------------------------------------------------
+
+
+RPR011_FILES = {
+    "pkg/__init__.py": "",
+    "pkg/pack.py": """\
+        import numpy as np
+
+        def pack(batch):
+            ips = batch.src_ip.astype(np.uint64)
+            ports = batch.src_port.astype(np.uint64)
+            return (ips << np.uint64(40)) | ports
+
+        def pack_wrapping(batch):
+            mixed = batch.src_ip.astype(np.uint64)
+            with np.errstate(over="ignore"):
+                mixed *= np.uint64(0x9E3779B97F4A7C15)
+            return mixed
+    """,
+}
+
+
+class TestOverflowArithmeticRule:
+    def test_oversized_shift_flagged_and_errstate_respected(self, tmp_path):
+        diags, _, _ = run_project(tmp_path, RPR011_FILES)
+        assert codes(diags) == ["RPR011"]
+        assert "shl" in diags[0].message
+        assert "np.errstate" in diags[0].message
+
+    def test_shift_within_capacity_clean(self, tmp_path):
+        files = dict(RPR011_FILES)
+        files["pkg/pack.py"] = files["pkg/pack.py"].replace(
+            "np.uint64(40)", "np.uint64(16)"
+        )
+        diags, _, _ = run_project(tmp_path, files)
+        assert diags == []
+
+    def test_suppression_comment_silences_site(self, tmp_path):
+        files = dict(RPR011_FILES)
+        files["pkg/pack.py"] = files["pkg/pack.py"].replace(
+            "return (ips << np.uint64(40)) | ports",
+            "return (ips << np.uint64(40)) | ports"
+            "  # repro-lint: disable=RPR011",
+        )
+        diags, _, _ = run_project(tmp_path, files)
+        assert diags == []
+
+
+# ---------------------------------------------------------------------------
+# RPR012: unit mixing
+# ---------------------------------------------------------------------------
+
+
+RPR012_FILES = {
+    "pkg/__init__.py": "",
+    "pkg/units.py": """\
+        def drift(batch):
+            return batch.time + batch.src_port
+
+        def lagged(batch, cutoff_seconds):
+            return batch.src_port > cutoff_seconds
+    """,
+}
+
+
+class TestUnitMixingRule:
+    def test_add_and_compare_across_units_flagged(self, tmp_path):
+        diags, _, _ = run_project(tmp_path, RPR012_FILES)
+        assert codes(diags) == ["RPR012", "RPR012"]
+        assert "seconds" in diags[0].message
+        assert "port" in diags[0].message
+
+    def test_same_unit_arithmetic_clean(self, tmp_path):
+        files = {
+            "pkg/__init__.py": "",
+            "pkg/units.py": """\
+                def relative(batch):
+                    return batch.time - batch.time[0]
+
+                def padded(batch):
+                    return batch.time + 0.5
+            """,
+        }
+        diags, _, _ = run_project(tmp_path, files)
+        assert diags == []
+
+
+# ---------------------------------------------------------------------------
+# RPR013: persisted-dtype drift
+# ---------------------------------------------------------------------------
+
+
+RPR013_SPEC = "pkg/decl.py:_COLUMNS:pkg/ser.py:_ORDER"
+
+RPR013_LAYOUT = {
+    "pkg/__init__.py": "",
+    "pkg/decl.py": '_COLUMNS = (("time", "float64"), ("src_ip", "uint32"))\n',
+    "pkg/ser.py": '_ORDER = (("time", "<f8"), ("src_ip", "<u2"))\n',
+}
+
+
+class TestPersistedDtypeDriftRule:
+    def test_layout_width_drift_flagged(self, tmp_path):
+        diags, _, _ = run_project(
+            tmp_path, RPR013_LAYOUT, dtype_layouts=[RPR013_SPEC]
+        )
+        assert codes(diags) == ["RPR013"]
+        assert "declared uint32" in diags[0].message
+        assert "uint16" in diags[0].message
+
+    def test_missing_endianness_marker_flagged(self, tmp_path):
+        files = dict(RPR013_LAYOUT)
+        files["pkg/ser.py"] = '_ORDER = (("time", "f8"), ("src_ip", "<u4"))\n'
+        diags, _, _ = run_project(
+            tmp_path, files, dtype_layouts=[RPR013_SPEC]
+        )
+        assert codes(diags) == ["RPR013"]
+        assert "little-endian" in diags[0].message
+
+    def test_matching_layouts_clean(self, tmp_path):
+        files = dict(RPR013_LAYOUT)
+        files["pkg/ser.py"] = '_ORDER = (("time", "<f8"), ("src_ip", "<u4"))\n'
+        diags, _, _ = run_project(
+            tmp_path, files, dtype_layouts=[RPR013_SPEC]
+        )
+        assert diags == []
+
+    def test_savez_sink_dtype_drift_flagged(self, tmp_path):
+        files = {
+            "pkg/__init__.py": "",
+            "pkg/persist.py": """\
+                import numpy as np
+
+                def persist(path, batch):
+                    np.savez(path, time=batch.time.astype(np.float32))
+            """,
+        }
+        diags, _, _ = run_project(tmp_path, files)
+        assert codes(diags) == ["RPR013"]
+        assert "float32" in diags[0].message
+        assert "float64" in diags[0].message
+
+    def test_savez_declared_dtype_clean(self, tmp_path):
+        files = {
+            "pkg/__init__.py": "",
+            "pkg/persist.py": """\
+                import numpy as np
+
+                def persist(path, batch):
+                    np.savez(path, time=batch.time)
+            """,
+        }
+        diags, _, _ = run_project(tmp_path, files)
+        assert diags == []
+
+
+# ---------------------------------------------------------------------------
+# RPR014: float accumulation
+# ---------------------------------------------------------------------------
+
+
+RPR014_FILES = {
+    "pkg/__init__.py": "",
+    "pkg/accum.py": """\
+        import numpy as np
+
+        def total(batch):
+            return np.sum(batch.time, dtype=np.float32)
+
+        def total_py(batch):
+            return sum(batch.time)
+    """,
+}
+
+
+class TestFloatAccumulationRule:
+    def test_float32_and_python_sum_flagged(self, tmp_path):
+        diags, _, _ = run_project(tmp_path, RPR014_FILES)
+        assert codes(diags) == ["RPR014", "RPR014"]
+        assert "float32" in diags[0].message
+        assert "sum()" in diags[1].message
+
+    def test_float64_accumulators_clean(self, tmp_path):
+        files = {
+            "pkg/__init__.py": "",
+            "pkg/accum.py": """\
+                import numpy as np
+
+                def total(batch):
+                    return np.sum(batch.time)
+
+                def total_explicit(batch):
+                    return np.sum(batch.time, dtype=np.float64)
+            """,
+        }
+        diags, _, _ = run_project(tmp_path, files)
+        assert diags == []
+
+    def test_float32_loop_accumulator_flagged(self, tmp_path):
+        files = {
+            "pkg/__init__.py": "",
+            "pkg/stream.py": """\
+                import numpy as np
+
+                def stream(batch):
+                    acc = np.float32(0.0)
+                    for i in range(3):
+                        acc += batch.time[0]
+                    return acc
+            """,
+        }
+        diags, _, _ = run_project(tmp_path, files)
+        assert codes(diags) == ["RPR014"]
+        assert "loop" in diags[0].message
+
+
+# ---------------------------------------------------------------------------
+# interprocedural propagation
+# ---------------------------------------------------------------------------
+
+
+class TestInterprocedural:
+    def test_column_provenance_crosses_call_boundaries(self, tmp_path):
+        files = {
+            "pkg/__init__.py": "",
+            "pkg/helpers.py": """\
+                import numpy as np
+
+                def widen(values):
+                    return values.astype(np.uint64)
+            """,
+            "pkg/use.py": """\
+                import numpy as np
+
+                from pkg.helpers import widen
+
+                def pack(batch):
+                    wide = widen(batch.src_ip)
+                    return wide.astype(np.uint8)
+            """,
+        }
+        diags, _, _ = run_project(tmp_path, files)
+        assert codes(diags) == ["RPR010"]
+        assert "uint8" in diags[0].message
+        assert diags[0].path.endswith("use.py")
+
+
+# ---------------------------------------------------------------------------
+# caching: the unit lattice participates in the cache key
+# ---------------------------------------------------------------------------
+
+
+class TestLatticeCache:
+    def _run(self, tmp_path, cache_dir):
+        config = LintConfig(
+            root=tmp_path, paths=["pkg"], disable=FILE_RULES, dtype_layouts=[]
+        )
+        return lint_repository(
+            config, workers=0, cache_dir=cache_dir, use_cache=True
+        )
+
+    def test_warm_cache_reproduces_typeflow_findings(self, tmp_path):
+        write_tree(tmp_path, RPR011_FILES)
+        cache_dir = tmp_path / ".cache"
+        cold_diags, _, _ = self._run(tmp_path, cache_dir)
+        warm_diags, _, warm = self._run(tmp_path, cache_dir)
+        assert warm.cache_misses == 0
+        assert warm.parsed == 0
+        assert warm_diags == cold_diags
+        assert codes(warm_diags) == ["RPR011"]
+
+    def test_lattice_change_invalidates_cache(self, tmp_path, monkeypatch):
+        write_tree(tmp_path, RPR011_FILES)
+        cache_dir = tmp_path / ".cache"
+        self._run(tmp_path, cache_dir)
+        monkeypatch.setattr(
+            "repro.lint.project.lattice_fingerprint", lambda: "tweaked"
+        )
+        _, _, stats = self._run(tmp_path, cache_dir)
+        assert stats.cache_hits == 0  # new lattice, every entry misses
+
+
+# ---------------------------------------------------------------------------
+# worker-count equivalence
+# ---------------------------------------------------------------------------
+
+
+class TestWorkerEquivalence:
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_typeflow_diagnostics_identical_at_any_worker_count(
+        self, tmp_path, workers
+    ):
+        files = {
+            **RPR010_FILES,
+            **{k: v for k, v in RPR011_FILES.items() if k != "pkg/__init__.py"},
+            **{k: v for k, v in RPR012_FILES.items() if k != "pkg/__init__.py"},
+        }
+        write_tree(tmp_path, files)
+        config = LintConfig(
+            root=tmp_path, paths=["pkg"], disable=FILE_RULES, dtype_layouts=[]
+        )
+        serial, _, _ = lint_repository(config, workers=0, use_cache=False)
+        parallel, _, _ = lint_repository(
+            config, workers=workers, use_cache=False
+        )
+        assert sorted(codes(serial)) == [
+            "RPR010", "RPR011", "RPR012", "RPR012",
+        ]
+        assert parallel == serial
+
+
+# ---------------------------------------------------------------------------
+# --select / --ignore
+# ---------------------------------------------------------------------------
+
+
+MIXED_FILES = {
+    "pkg/__init__.py": "",
+    "pkg/a.py": """\
+        from repro._util.rng import derive_rng
+
+        def f(rng, year):
+            return derive_rng(rng, "year", year)
+    """,
+    "pkg/b.py": """\
+        from repro._util.rng import derive_rng
+
+        def g(rng):
+            return derive_rng(rng, "year", 2020)
+    """,
+    "pkg/pack.py": RPR011_FILES["pkg/pack.py"],
+}
+
+
+def write_cli_project(tmp_path, files):
+    write_tree(tmp_path, files)
+    disable = ", ".join(f'"{c}"' for c in FILE_RULES)
+    (tmp_path / "pyproject.toml").write_text(textwrap.dedent(f"""\
+        [tool.repro-lint]
+        paths = ["pkg"]
+        disable = [{disable}]
+        cache = ""
+        schema-sites = []
+        dtype-layouts = []
+    """), encoding="utf-8")
+    return tmp_path / "pyproject.toml"
+
+
+def cli_result_codes(pyproject, extra_args):
+    out_file = pyproject.parent / "out.sarif"
+    status = main([
+        "--config", str(pyproject),
+        "--format", "sarif", "--output", str(out_file),
+        "--no-baseline", *extra_args,
+    ])
+    sarif = json.loads(out_file.read_text())
+    return status, [r["ruleId"] for r in sarif["runs"][0]["results"]]
+
+
+class TestSelectIgnore:
+    def test_select_keeps_only_matching_codes(self, tmp_path, capsys):
+        pyproject = write_cli_project(tmp_path, MIXED_FILES)
+        status, rule_ids = cli_result_codes(pyproject, ["--select", "RPR011"])
+        capsys.readouterr()
+        assert status == 1
+        assert rule_ids == ["RPR011"]
+
+    def test_ignore_drops_matching_codes(self, tmp_path, capsys):
+        pyproject = write_cli_project(tmp_path, MIXED_FILES)
+        status, rule_ids = cli_result_codes(pyproject, ["--ignore", "RPR011"])
+        capsys.readouterr()
+        assert status == 1
+        assert rule_ids == ["RPR006"]
+
+    def test_select_prefix_matches_family(self, tmp_path, capsys):
+        pyproject = write_cli_project(tmp_path, MIXED_FILES)
+        status, rule_ids = cli_result_codes(pyproject, ["--select", "RPR01"])
+        capsys.readouterr()
+        assert status == 1
+        assert rule_ids == ["RPR011"]
+
+    def test_invalid_code_prefix_is_a_usage_error(self, tmp_path, capsys):
+        pyproject = write_cli_project(tmp_path, MIXED_FILES)
+        status = main(["--config", str(pyproject), "--select", "E501"])
+        err = capsys.readouterr().err
+        assert status == 2
+        assert "RPR" in err
+
+    def test_config_select_applies_without_cli_flag(self, tmp_path):
+        diags, _, _ = run_project(tmp_path, MIXED_FILES, select=["RPR012"])
+        assert diags == []  # nothing in the fixture matches RPR012
+
+
+# ---------------------------------------------------------------------------
+# [tool.repro-lint.paths]: path-scoped rule sets
+# ---------------------------------------------------------------------------
+
+
+PATHS_BLOCK = """\
+    [tool.repro-lint]
+    cache = ""
+    schema-sites = []
+
+    [tool.repro-lint.paths]
+    "src/repro" = []
+    "benchmarks" = ["RPR001", "RPR006"]
+"""
+
+
+class TestPathScopedRules:
+    def test_paths_block_sets_targets_and_rule_sets(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(textwrap.dedent(PATHS_BLOCK), encoding="utf-8")
+        cfg = load_config(pyproject)
+        assert cfg.paths == ["src/repro", "benchmarks"]
+        assert cfg.path_rules == {
+            "src/repro": [], "benchmarks": ["RPR001", "RPR006"],
+        }
+
+    def test_fallback_parser_reads_subtables(self):
+        parsed = _fallback_parse(textwrap.dedent(PATHS_BLOCK))
+        assert parsed["cache"] == ""
+        assert parsed["paths"] == {
+            "src/repro": [], "benchmarks": ["RPR001", "RPR006"],
+        }
+
+    def test_load_config_via_fallback_parser(self, tmp_path, monkeypatch):
+        monkeypatch.setattr("repro.lint.config._toml", None)
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(textwrap.dedent(PATHS_BLOCK), encoding="utf-8")
+        cfg = load_config(pyproject)
+        assert cfg.paths == ["src/repro", "benchmarks"]
+        assert cfg.path_rules["benchmarks"] == ["RPR001", "RPR006"]
+
+    def test_scalar_paths_key_still_accepted(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(textwrap.dedent("""\
+            [tool.repro-lint]
+            paths = ["pkg"]
+        """), encoding="utf-8")
+        cfg = load_config(pyproject)
+        assert cfg.paths == ["pkg"]
+        assert cfg.path_rules == {}
+
+    def test_direct_path_rules_key_rejected(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(textwrap.dedent("""\
+            [tool.repro-lint]
+            path-rules = ["pkg"]
+        """), encoding="utf-8")
+        with pytest.raises(ValueError, match="paths"):
+            load_config(pyproject)
+
+    def test_longest_prefix_wins(self):
+        cfg = LintConfig(path_rules={
+            "pkg": ["RPR011"],
+            "pkg/hot": [],
+        })
+        assert cfg.is_disabled_for("pkg/pack.py", "RPR011")
+        assert not cfg.is_disabled_for("pkg/hot/pack.py", "RPR011")
+        assert not cfg.is_disabled_for("other/pack.py", "RPR011")
+
+    def test_relaxed_path_filters_findings_end_to_end(self, tmp_path):
+        diags, _, _ = run_project(
+            tmp_path, RPR011_FILES, path_rules={"pkg": ["RPR011"]}
+        )
+        assert diags == []
+
+    def test_roundtrip_through_worker_payload(self):
+        cfg = LintConfig(path_rules={"benchmarks": ["RPR001"]})
+        clone = LintConfig.from_payload(cfg.to_payload())
+        assert clone.path_rules == {"benchmarks": ["RPR001"]}
+
+
+# ---------------------------------------------------------------------------
+# SARIF golden for a typeflow finding
+# ---------------------------------------------------------------------------
+
+
+class TestTypeflowSarif:
+    def test_sarif_output_matches_golden(self, tmp_path, capsys):
+        pyproject = write_cli_project(tmp_path, RPR011_FILES)
+        out_file = tmp_path / "lint.sarif"
+        status = main([
+            "--config", str(pyproject),
+            "--format", "sarif", "--output", str(out_file),
+            "--no-baseline",
+        ])
+        capsys.readouterr()
+        assert status == 1
+        produced = json.loads(out_file.read_text())
+        # The driver version tracks the library; normalise for the golden.
+        produced["runs"][0]["tool"]["driver"]["version"] = "0.0.0"
+        golden = json.loads(GOLDEN_SARIF.read_text())
+        assert produced == golden
