@@ -15,7 +15,13 @@ import pytest
 from repro.core.campaigns import identify_scans
 from repro.core.fingerprints import ToolFingerprinter
 from repro.enrichment import ScannerClassifier
-from repro.stream import BatchStreamSource, StreamConfig, StreamEngine
+from repro.stream import (
+    BatchStreamSource,
+    ShardedStreamEngine,
+    StreamConfig,
+    StreamEngine,
+    TraceStreamSource,
+)
 from repro.telescope import (
     PrefixPreservingAnonymizer,
     read_trace,
@@ -56,8 +62,85 @@ def test_perf_stream_identify(perf_batch, benchmark):
     benchmark.extra_info["packets"] = stats.packets
     benchmark.extra_info["stream_packets_per_s"] = round(stats.packets_per_s)
     benchmark.extra_info["peak_rss_bytes"] = stats.peak_rss_bytes
-    benchmark.extra_info["peak_open_session_bytes"] = stats.buffered_bytes
+    benchmark.extra_info["peak_open_session_bytes"] = (
+        stats.peak_open_session_bytes
+    )
+    assert stats.peak_open_session_bytes > 0
     assert len(table) > 100
+
+
+def test_perf_stream_sharded(perf_batch, benchmark, tmp_path):
+    """Source-sharded parallel streaming over a memory-mapped trace.
+
+    Times the 4-shard configuration (workers capped at the machine's core
+    count) and records the 1-shard reference next to it, so the report
+    shows the scaling factor alongside per-shard peak RSS.  The >= 1.7x
+    1 -> 4 shard scaling assertion only fires on machines with at least 4
+    cores — below that, process-pool parallelism cannot express it and the
+    run asserts correctness (bit-identical merge) only.
+    """
+    import os
+    import time
+
+    path = tmp_path / "sharded.rtrace"
+    write_trace(path, perf_batch, meta={"year": 2020})
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux platforms
+        cores = os.cpu_count() or 1
+    shards = 4
+    workers = min(shards, cores)
+
+    def source():
+        return TraceStreamSource(path, batch_size=65_536, mmap=True)
+
+    base_engine = ShardedStreamEngine(
+        n_shards=1, workers=0, config=StreamConfig(batch_size=65_536)
+    )
+    started = time.perf_counter()
+    base = base_engine.run(source())
+    base_s = time.perf_counter() - started
+
+    holder = {}
+
+    def work():
+        engine = ShardedStreamEngine(
+            n_shards=shards, workers=workers,
+            config=StreamConfig(batch_size=65_536),
+        )
+        result = engine.run(source())
+        holder["result"] = result
+        return result.scans
+
+    table = benchmark.pedantic(work, rounds=3, iterations=1)
+    result = holder["result"]
+    sharded_s = max(benchmark.stats.stats.median, 1e-9)
+    scaling = base_s / sharded_s
+    benchmark.extra_info["shards"] = shards
+    benchmark.extra_info["workers"] = workers
+    benchmark.extra_info["cores"] = cores
+    benchmark.extra_info["packets"] = result.stats.packets
+    benchmark.extra_info["stream_packets_per_s"] = round(
+        result.stats.packets / sharded_s
+    )
+    benchmark.extra_info["serial_packets_per_s"] = round(
+        result.stats.packets / base_s
+    )
+    benchmark.extra_info["scaling_1_to_4"] = round(scaling, 2)
+    benchmark.extra_info["peak_shard_rss_bytes"] = max(
+        run.stats.peak_rss_bytes for run in result.shards
+    )
+    benchmark.extra_info["peak_shard_open_session_bytes"] = max(
+        run.stats.peak_open_session_bytes for run in result.shards
+    )
+    assert len(table) == len(base.scans)
+    assert np.array_equal(table.src_ip, base.scans.src_ip)
+    assert np.array_equal(table.start, base.scans.start)
+    if cores >= 4:
+        assert scaling >= 1.7, (
+            f"4-shard streaming only {scaling:.2f}x over 1 shard "
+            f"({sharded_s:.3f}s vs {base_s:.3f}s on {cores} cores)"
+        )
 
 
 def test_perf_per_packet_fingerprint(perf_batch, benchmark):

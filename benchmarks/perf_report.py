@@ -163,8 +163,15 @@ def main(argv=None) -> int:
         line = f"  {name:40s} median {stats['median_s'] * 1e3:9.2f} ms"
         extra = stats.get("extra", {})
         if "stream_packets_per_s" in extra:
+            # Sharded runs report the per-shard peak (their memory bound);
+            # serial runs the process-wide one.
+            rss = extra.get(
+                "peak_rss_bytes", extra.get("peak_shard_rss_bytes", 0)
+            )
             line += (f"  ({extra['stream_packets_per_s']:,} pps, "
-                     f"peak RSS {extra['peak_rss_bytes'] / 1e6:.0f} MB)")
+                     f"peak RSS {rss / 1e6:.0f} MB)")
+        if "scaling_1_to_4" in extra:
+            line += f"  (1->4 shard scaling {extra['scaling_1_to_4']:.2f}x)"
         print(line)
 
     if baseline is not None:

@@ -48,6 +48,7 @@ from repro.simulation import ALL_YEARS, TelescopeWorld
 from repro.stream import DEFAULT_BATCH_SIZE as STREAM_DEFAULT_BATCH_SIZE
 from repro.stream import (
     BatchStreamSource,
+    ShardedStreamEngine,
     StreamConfig,
     StreamEngine,
     TraceStreamSource,
@@ -124,6 +125,14 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="write the final stream stats as JSON")
     stm.add_argument("--tolerate-truncation", action="store_true",
                      help="accept a cleanly-truncated final trace batch")
+    stm.add_argument("--shards", type=int, default=1,
+                     help="source-hash shards; >1 splits the identifier "
+                          "state by hash(src_ip) %% N with bit-identical "
+                          "output (--workers then runs shards in parallel)")
+    stm.add_argument("--mmap", action=argparse.BooleanOptionalAction,
+                     default=None,
+                     help="force (--mmap) or forbid (--no-mmap) the "
+                          "zero-copy mapped trace reader; default auto")
     _add_capture_flags(stm)
 
     rep = sub.add_parser("report", help="simulate years and print Table 1")
@@ -199,8 +208,15 @@ def _capture_source(args: argparse.Namespace, strict: bool = True):
     path = _resolve_capture(args)
     batch_size = getattr(args, "batch_size", None) or STREAM_DEFAULT_BATCH_SIZE
     if path.suffix == ".pcap":
-        return BatchStreamSource(read_pcap(path), batch_size=batch_size)
-    return TraceStreamSource(path, batch_size=batch_size, strict=strict)
+        return BatchStreamSource(
+            read_pcap(path), batch_size=batch_size,
+            window_s=getattr(args, "window_s", None),
+        )
+    return TraceStreamSource(
+        path, batch_size=batch_size, strict=strict,
+        window_s=getattr(args, "window_s", None),
+        mmap=getattr(args, "mmap", None),
+    )
 
 
 def _load_capture(args: argparse.Namespace):
@@ -317,7 +333,46 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.shards < 1:
+        print("error: --shards must be >= 1", file=sys.stderr)
+        return 2
     source = _capture_source(args, strict=config.strict)
+
+    if args.shards > 1:
+        progress = None
+        if args.progress_every > 0 and args.workers == 0:
+            every = args.progress_every
+
+            def progress(shard, stats):
+                if stats.windows % every == 0:
+                    print(f"shard {shard}: {stats.progress_line()}",
+                          file=sys.stderr)
+
+        sharded = ShardedStreamEngine(
+            n_shards=args.shards, workers=args.workers, config=config
+        )
+        result = sharded.run(source, progress=progress)
+        if result.resumed:
+            print("resumed "
+                  f"{sum(1 for r in result.shards if r.resumed)} shard(s) "
+                  f"from checkpoints past {result.stats.resumed_packets:,} "
+                  "packets", file=sys.stderr)
+        for run in result.shards:
+            print(f"shard {run.shard}: {run.stats.summary_line()}",
+                  file=sys.stderr)
+        print(result.stats.summary_line())
+        table = result.scans
+        print(f"identified {len(table):,} scan(s), "
+              f"{int(table.packets.sum()):,} scan packets, "
+              f"{result.stats.sessions_discarded:,} session(s) below criteria")
+        if args.stats_json is not None:
+            import json
+
+            args.stats_json.write_text(
+                json.dumps(result.stats.to_dict(), indent=2)
+            )
+            print(f"stats written to {args.stats_json}", file=sys.stderr)
+        return 0
 
     progress = None
     if args.progress_every > 0:

@@ -6,7 +6,9 @@ incremental scan identifier stream-equivalent to batch ``identify_scans``
 (:mod:`~repro.stream.incremental`), durable content-addressed checkpoints
 (:mod:`~repro.stream.checkpoint`), and a live progress/stats surface
 (:mod:`~repro.stream.stats`), all orchestrated by
-:class:`~repro.stream.engine.StreamEngine`.
+:class:`~repro.stream.engine.StreamEngine` — or, source-sharded across
+worker processes with bit-identical output, by
+:class:`~repro.stream.sharded.ShardedStreamEngine`.
 """
 
 from repro.stream.checkpoint import (
@@ -22,6 +24,14 @@ from repro.stream.engine import (
     identify_scans_stream,
 )
 from repro.stream.incremental import IncrementalScanIdentifier, StreamOrderError
+from repro.stream.sharded import (
+    ShardedStreamEngine,
+    ShardedStreamResult,
+    ShardRun,
+    identify_scans_sharded,
+    merge_scan_tables,
+    shard_of,
+)
 from repro.stream.source import (
     DEFAULT_BATCH_SIZE,
     BatchStreamSource,
@@ -43,6 +53,12 @@ __all__ = [
     "identify_scans_stream",
     "IncrementalScanIdentifier",
     "StreamOrderError",
+    "ShardedStreamEngine",
+    "ShardedStreamResult",
+    "ShardRun",
+    "identify_scans_sharded",
+    "merge_scan_tables",
+    "shard_of",
     "DEFAULT_BATCH_SIZE",
     "BatchStreamSource",
     "IterStreamSource",

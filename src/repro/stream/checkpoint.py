@@ -22,7 +22,7 @@ import hashlib
 import json
 import os
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -61,12 +61,17 @@ class CheckpointStore:
         fingerprinter: ToolFingerprinter,
         batch_size: Optional[int],
         window_s: Optional[float],
+        shard: Optional[Tuple[int, int]] = None,
     ) -> str:
         """Content key of one (capture, configuration) streaming run.
 
         The batching parameters are part of the key because they shape the
         window sequence, and a restored run must replay the exact windows
-        the checkpointed run saw.
+        the checkpointed run saw.  ``shard=(index, of)`` keys one shard of
+        a sharded run (see :mod:`repro.stream.sharded`); it joins the key
+        material only when given, so unsharded keys are unchanged and a
+        shard can never resume from another shard's (or the serial run's)
+        state.
         """
         material = {
             "schema": STREAM_SCHEMA_VERSION,
@@ -82,6 +87,8 @@ class CheckpointStore:
                 "window_s": _canonical(window_s),
             },
         }
+        if shard is not None:
+            material["shard"] = {"index": shard[0], "of": shard[1]}
         blob = json.dumps(material, sort_keys=True).encode("utf-8")
         return hashlib.blake2b(blob, digest_size=16).hexdigest()
 

@@ -165,6 +165,7 @@ class StreamEngine:
         stats.scans = identifier.scans_found
         stats.sessions_discarded = identifier.sessions_discarded
         stats.buffered_bytes = identifier.buffered_bytes
+        stats.peak_open_session_bytes = identifier.peak_buffered_bytes
         stats.wall_s = wall_clock() - started
         stats.peak_rss_bytes = peak_rss_bytes()
 
@@ -174,6 +175,7 @@ def as_stream_source(
     batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
     window_s: Optional[float] = None,
     strict: bool = True,
+    mmap: Optional[bool] = None,
 ) -> StreamSource:
     """Coerce common capture shapes into a :class:`StreamSource`."""
     if isinstance(capture, StreamSource):
@@ -181,7 +183,9 @@ def as_stream_source(
     if isinstance(capture, PacketBatch):
         return BatchStreamSource(capture, batch_size, window_s)
     if isinstance(capture, (str, Path)):
-        return TraceStreamSource(capture, batch_size, window_s, strict=strict)
+        return TraceStreamSource(
+            capture, batch_size, window_s, strict=strict, mmap=mmap
+        )
     return IterStreamSource(capture, batch_size, window_s)
 
 
@@ -193,13 +197,14 @@ def identify_scans_stream(
     window_s: Optional[float] = None,
     checkpoint_dir: Optional[Union[str, Path]] = None,
     progress: Optional[ProgressCallback] = None,
+    mmap: Optional[bool] = None,
 ) -> ScanTable:
     """Streaming drop-in for :func:`repro.core.campaigns.identify_scans`.
 
     Produces a column-by-column identical :class:`ScanTable` at any batch
     size; see :mod:`repro.stream.incremental` for why.
     """
-    source = as_stream_source(capture, batch_size, window_s)
+    source = as_stream_source(capture, batch_size, window_s, mmap=mmap)
     engine = StreamEngine(
         criteria,
         fingerprinter,

@@ -52,6 +52,35 @@ class StreamOrderError(ValueError):
     """
 
 
+def _whole(chunks: List[np.ndarray]) -> np.ndarray:
+    """Concatenate a chunked buffer (no-op view for the single-chunk case)."""
+    return chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+
+
+def _batched_modes(heads: List[np.ndarray]) -> np.ndarray:
+    """Most frequent value of each array, ties broken toward the smallest.
+
+    Matches ``u, c = np.unique(h, return_counts=True); u[np.argmax(c)]``
+    per array (``np.unique`` sorts ascending and ``argmax`` takes the first
+    maximum), but packs every array into one sort: values are tagged with
+    their array ordinal in the high bits, so per-array tallies land in
+    contiguous, value-sorted runs of a single ``np.unique``.
+    """
+    lens = np.array([h.size for h in heads], dtype=np.int64)
+    ordinal = np.repeat(np.arange(len(heads), dtype=np.int64), lens)
+    packed = (ordinal << np.int64(16)) | np.concatenate(heads).astype(np.int64)
+    u, c = np.unique(packed, return_counts=True)
+    seg = u >> np.int64(16)
+    firsts = np.concatenate(
+        ([0], np.cumsum(np.bincount(seg, minlength=len(heads)))[:-1])
+    )
+    max_count = np.maximum.reduceat(c, firsts)
+    at_max = np.flatnonzero(c == max_count[seg])
+    # First at-max position per array = smallest value with the top count.
+    _, first_idx = np.unique(seg[at_max], return_index=True)
+    return u[at_max[first_idx]] & np.int64(0xFFFF)
+
+
 class _SessionState:
     """Mergeable accumulator for one source's open session."""
 
@@ -93,19 +122,48 @@ class _SessionState:
         ttls: np.ndarray,
         fp_slices: Tuple[np.ndarray, ...],
         fp_limit: int,
+        copy: bool = True,
+        dst_distinct: Optional[np.ndarray] = None,
+        port_tally: Optional[Tuple[np.ndarray, np.ndarray]] = None,
     ) -> int:
-        """Merge one time-ordered packet run; returns buffered-byte delta."""
+        """Merge one time-ordered packet run; returns buffered-byte delta.
+
+        ``copy=False`` keeps zero-copy views of the input slices instead of
+        snapshotting them — only safe when the session is retired (scored or
+        dropped) before the window arrays go away, i.e. within the same
+        ``consume`` call.  Sessions that stay open across windows must copy,
+        or they would pin every window they ever touched.
+
+        ``dst_distinct`` / ``port_tally`` hand in this run's sorted
+        distinct destinations and its ``(sorted ports, multiplicities)``
+        tally when the caller already computed them in a batched pass; they
+        replace the per-state ``np.unique`` calls and merge identically
+        (``union1d`` deduplicates either way).
+        """
         n = times.size
-        t = times.copy()
-        d = dsts.copy()
+        t = times.copy() if copy else times
+        d = dsts.copy() if copy else dsts
         self.times.append(t)
         self.dsts.append(d)
         delta = t.nbytes + d.nbytes
 
-        self.dst_set = np.union1d(self.dst_set, d)
+        if self.dst_set.size == 0:
+            if dst_distinct is not None:
+                self.dst_set = dst_distinct.copy() if copy else dst_distinct
+            else:
+                self.dst_set = np.unique(d)
+        else:
+            self.dst_set = np.union1d(
+                self.dst_set, d if dst_distinct is None else dst_distinct
+            )
 
-        u, c = np.unique(ports.astype(np.int64), return_counts=True)
+        if port_tally is not None:
+            u, c = port_tally
+        else:
+            u, c = np.unique(ports.astype(np.int64), return_counts=True)
         if self.ports.size == 0:
+            if copy and port_tally is not None:
+                u, c = u.copy(), c.copy()
             self.ports, self.port_counts = u, c
         else:
             allp = np.concatenate([self.ports, u])
@@ -120,8 +178,8 @@ class _SessionState:
 
         if self.head_count < _HEAD_LIMIT:
             take = min(_HEAD_LIMIT - self.head_count, n)
-            w = windows[:take].copy()
-            tt = ttls[:take].copy()
+            w = windows[:take].copy() if copy else windows[:take]
+            tt = ttls[:take].copy() if copy else ttls[:take]
             self.head_window.append(w)
             self.head_ttl.append(tt)
             self.head_count += take
@@ -129,7 +187,7 @@ class _SessionState:
         if self.fp_count < fp_limit:
             take = min(fp_limit - self.fp_count, n)
             for store, col in zip(self.fp_cols, fp_slices):
-                piece = col[:take].copy()
+                piece = col[:take].copy() if copy else col[:take]
                 store.append(piece)
                 delta += piece.nbytes
             self.fp_count += take
@@ -164,6 +222,10 @@ class IncrementalScanIdentifier:
         self.watermark = float("-inf")
         self.sessions_discarded = 0
         self.buffered_bytes = 0
+        #: High-water mark of ``buffered_bytes`` (open-session buffers).
+        #: Not checkpointed: after a restore it restarts from the resumed
+        #: working set, i.e. it is the peak *since resume*.
+        self.peak_buffered_bytes = 0
         # Columnar store of finalised scans (sorted into table order at the
         # very end; completion order is irrelevant after that sort).
         self._rec_src: List[int] = []
@@ -240,40 +302,166 @@ class IncrementalScanIdentifier:
         fp_limit = self.fingerprinter.sample_limit
         pending: List[_SessionState] = []
 
-        for b, e in zip(starts, ends):
-            src = int(s_o[b])
-            times_g = t_o[b:e]
-            if e - b > 1:
-                cuts = np.flatnonzero(np.diff(times_g) > expiry) + 1
-                bounds = np.concatenate(([0], cuts, [e - b]))
-            else:
-                bounds = np.array([0, 1], dtype=np.int64)
-            n_segments = bounds.size - 1
+        # Fast path for *ephemeral* sources: no open state to attach to, and
+        # their last packet is already more than the expiry gap behind this
+        # window's maximum time, so every one of their sessions both opens
+        # and watermark-expires inside this single window.  At telescope
+        # scale this is the overwhelming majority (background radiation that
+        # probes a handful of addresses and vanishes), and the per-source
+        # Python loop is what capped the serial path.  These sources never
+        # enter ``_open``: sub-threshold segments are counted as discarded
+        # in one vectorised pass, and only candidate segments pay for a
+        # (zero-copy, retire-immediately) ``_SessionState``.  Slow sources —
+        # anything with attached or lingering state — still take the exact
+        # per-source loop below, so the stream semantics are unchanged.
+        wmax = float(t.max())
+        group_src = s_o[starts]
+        group_last = t_o[ends - 1]
+        if self._open:
+            open_srcs = np.fromiter(
+                self._open.keys(), dtype=np.uint32, count=len(self._open)
+            )
+            has_open = np.isin(group_src, open_srcs)
+        else:
+            has_open = np.zeros(group_src.size, dtype=bool)
+        slow_group = has_open | ((wmax - group_last) <= expiry)
+
+        # Global segment table: a new session segment starts where the
+        # source changes or the in-source idle gap exceeds the expiry —
+        # exactly the per-source ``np.diff`` cuts of the serial
+        # formulation, computed once for the whole window.
+        brk = np.empty(n, dtype=bool)
+        brk[0] = True
+        if n > 1:
+            brk[1:] = (s_o[1:] != s_o[:-1]) | (np.diff(t_o) > expiry)
+        seg_starts = np.flatnonzero(brk)
+        seg_ends = np.append(seg_starts[1:], n)
+        seg_len = seg_ends - seg_starts
+        seg_group = np.searchsorted(starts, seg_starts, side="right") - 1
+        fast_seg = ~slow_group[seg_group]
+
+        # Sub-threshold fast segments can never reach the
+        # distinct-destination threshold: discarded without any state.
+        small_fast = fast_seg & (seg_len < min_packets)
+        self.sessions_discarded += int(np.count_nonzero(small_fast))
+
+        def packed_tally(
+            segs: np.ndarray, values: np.ndarray, bits: int
+        ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+            """Per-segment sorted-unique tallies in one pass.
+
+            Tags each value with its segment ordinal in the high bits and
+            sorts once; per-segment results are then contiguous slices of
+            the sorted array.  Replaces one ``np.unique`` per segment with
+            a single ``np.unique`` per window.  Returns ``(values, counts,
+            offsets)`` where segment ``i`` owns ``values[offsets[i]:
+            offsets[i + 1]]`` (sorted distinct) with multiplicities
+            ``counts[...]``.
+            """
+            lens = seg_len[segs]
+            total = int(lens.sum())
+            ordinal = np.repeat(np.arange(segs.size, dtype=np.int64), lens)
+            idx = (
+                np.repeat(seg_starts[segs] - (np.cumsum(lens) - lens), lens)
+                + np.arange(total)
+            )
+            packed = (ordinal << np.int64(bits)) | values[idx].astype(
+                np.int64
+            )
+            u, c = np.unique(packed, return_counts=True)
+            per_seg = np.bincount(u >> np.int64(bits), minlength=segs.size)
+            vals = u & np.int64((1 << bits) - 1)
+            offsets = np.concatenate(([0], np.cumsum(per_seg)))
+            return vals, c, offsets
+
+        # Batched destination tallies for every segment that may need them
+        # (fast candidates for the threshold check, slow segments to seed
+        # their state append); position lookup maps a global segment index
+        # into the tally arrays.
+        tally_segs = np.flatnonzero(~small_fast)
+        tally_pos = np.full(seg_starts.size, -1, dtype=np.int64)
+        tally_pos[tally_segs] = np.arange(tally_segs.size)
+        dst_vals_i64, _, dst_offs = packed_tally(tally_segs, d_o, 32)
+        dst_vals = dst_vals_i64.astype(np.uint32)
+        dst_n = np.diff(dst_offs)
+
+        fast_tally = fast_seg[tally_segs]
+        ok = dst_n >= min_packets
+        # Fast candidates failing the distinct threshold: discarded without
+        # any state either.
+        self.sessions_discarded += int(np.count_nonzero(fast_tally & ~ok))
+
+        # Port tallies only where a state will actually be built: passing
+        # fast segments plus every slow segment.
+        port_mask = (fast_tally & ok) | ~fast_tally
+        port_segs = tally_segs[port_mask]
+        port_pos = np.full(seg_starts.size, -1, dtype=np.int64)
+        port_pos[port_segs] = np.arange(port_segs.size)
+        port_vals, port_counts, port_offs = packed_tally(port_segs, p_o, 16)
+
+        def seg_append(
+            state: _SessionState, k: int, copy: bool
+        ) -> int:
+            """Append global segment ``k`` to ``state`` with its tallies."""
+            a0, a1 = int(seg_starts[k]), int(seg_ends[k])
+            ti, pi = int(tally_pos[k]), int(port_pos[k])
+            return state.append(
+                t_o[a0:a1], d_o[a0:a1], p_o[a0:a1], w_o[a0:a1],
+                ttl_o[a0:a1],
+                (ipid_o[a0:a1], seq_o[a0:a1], d_o[a0:a1], p_o[a0:a1],
+                 sp_o[a0:a1]),
+                fp_limit,
+                copy=copy,
+                dst_distinct=dst_vals[dst_offs[ti]:dst_offs[ti + 1]],
+                port_tally=(
+                    port_vals[port_offs[pi]:port_offs[pi + 1]],
+                    port_counts[port_offs[pi]:port_offs[pi + 1]],
+                ),
+            )
+
+        # Fast path: ephemeral sources whose sessions open *and*
+        # watermark-expire inside this window.  They never enter ``_open``;
+        # each passing segment pays only for a zero-copy,
+        # retire-immediately state.
+        for k in tally_segs[fast_tally & ok].tolist():
+            state = _SessionState(int(s_o[seg_starts[k]]))
+            seg_append(state, k, copy=False)
+            pending.append(state)
+
+        # Slow path: sources with attached or lingering state take the
+        # serial per-source walk (segment bounds and tallies now come from
+        # the global tables, so the semantics are unchanged).
+        slow_idx = np.flatnonzero(slow_group)
+        seg_lo = np.searchsorted(seg_group, slow_idx, side="left")
+        seg_hi = np.searchsorted(seg_group, slow_idx, side="right")
+        for g, k0, k1 in zip(
+            slow_idx.tolist(), seg_lo.tolist(), seg_hi.tolist()
+        ):
+            src = int(group_src[g])
             state = self._open.get(src)
-            for j in range(n_segments):
-                a0, a1 = int(bounds[j]) + b, int(bounds[j + 1]) + b
+            for k in range(k0, k1):
+                a0 = int(seg_starts[k])
                 if (
                     state is not None
                     and float(t_o[a0]) - state.last_time > expiry
                 ):
                     self._retire(state, pending)
                     state = None
-                last_segment = j == n_segments - 1
+                last_segment = k == k1 - 1
                 if state is None:
-                    # A segment known-complete within this window that is too
-                    # small to have enough distinct destinations can be
+                    # A segment known-complete within this window that is
+                    # too small to have enough distinct destinations can be
                     # dropped without ever building a state (the batch
                     # path's cheap prefilter, applied eagerly).
-                    if not last_segment and a1 - a0 < min_packets:
+                    if not last_segment and int(seg_len[k]) < min_packets:
                         self.sessions_discarded += 1
                         continue
                     state = _SessionState(src)
-                self.buffered_bytes += state.append(
-                    t_o[a0:a1], d_o[a0:a1], p_o[a0:a1], w_o[a0:a1],
-                    ttl_o[a0:a1],
-                    (ipid_o[a0:a1], seq_o[a0:a1], d_o[a0:a1], p_o[a0:a1],
-                     sp_o[a0:a1]),
-                    fp_limit,
+                # Only a last segment can leave the state open past this
+                # ``consume`` call; earlier segments are retired right away
+                # and may keep zero-copy views.
+                self.buffered_bytes += seg_append(
+                    state, k, copy=last_segment
                 )
                 if not last_segment:
                     self._retire(state, pending)
@@ -286,7 +474,11 @@ class IncrementalScanIdentifier:
         # Watermark finalisation: future packets can only arrive at or after
         # this window's maximum time, so a source idle for more than the
         # expiry gap can never extend its session again.
-        self.watermark = max(self.watermark, float(t.max()))
+        self.watermark = max(self.watermark, wmax)
+        if self.buffered_bytes > self.peak_buffered_bytes:
+            # Peak *before* the sweep: the retiring sessions were genuinely
+            # buffered up to this point.
+            self.peak_buffered_bytes = self.buffered_bytes
         expired = [
             src for src, state in self._open.items()
             if self.watermark - state.last_time > expiry
@@ -360,12 +552,25 @@ class IncrementalScanIdentifier:
             times, dsts, offsets, counts, self.criteria
         )
         min_rate = self.criteria.min_rate_pps
-        for i, state in enumerate(pending):
+        keep: List[int] = []
+        for i in range(len(pending)):
             if rate[i] < min_rate:
                 self.sessions_discarded += 1
-                continue
-            self._record(state, float(start[i]), float(end[i]),
-                         bool(sequential[i]), float(rate[i]))
+            else:
+                keep.append(i)
+        if not keep:
+            return
+        # Header-quirk modes of all kept sessions in one batched pass (the
+        # heads are at most 64 packets each, so one sort over the lot beats
+        # two ``np.unique`` calls per session).
+        window_modes = _batched_modes(
+            [_whole(pending[i].head_window) for i in keep]
+        )
+        ttl_modes = _batched_modes([_whole(pending[i].head_ttl) for i in keep])
+        for j, i in enumerate(keep):
+            self._record(pending[i], float(start[i]), float(end[i]),
+                         bool(sequential[i]), float(rate[i]),
+                         int(window_modes[j]), int(ttl_modes[j]))
 
     def _record(
         self,
@@ -374,14 +579,12 @@ class IncrementalScanIdentifier:
         end: float,
         sequential: bool,
         rate: float,
+        window_mode: int,
+        ttl_mode: int,
     ) -> None:
         distinct = int(state.dst_set.size)
-        head_window = np.concatenate(state.head_window)
-        head_ttl = np.concatenate(state.head_ttl)
-        windows, window_counts = np.unique(head_window, return_counts=True)
-        ttls, ttl_counts = np.unique(head_ttl, return_counts=True)
         verdict = self.fingerprinter.fingerprint_arrays(
-            *(np.concatenate(chunks) for chunks in state.fp_cols)
+            *(_whole(chunks) for chunks in state.fp_cols)
         )
         self._rec_src.append(state.src)
         self._rec_start.append(start)
@@ -397,8 +600,8 @@ class IncrementalScanIdentifier:
             min(1.0, distinct / self.criteria.telescope_size)
         )
         self._rec_sequential.append(sequential)
-        self._rec_window.append(int(windows[int(np.argmax(window_counts))]))
-        self._rec_ttl.append(int(ttls[int(np.argmax(ttl_counts))]))
+        self._rec_window.append(window_mode)
+        self._rec_ttl.append(ttl_mode)
 
     # -- checkpoint state ----------------------------------------------------
 
@@ -484,6 +687,7 @@ class IncrementalScanIdentifier:
         """Rebuild mid-stream state from a :meth:`snapshot` payload."""
         self._open.clear()
         self.buffered_bytes = 0
+        self.peak_buffered_bytes = 0
         fp_limit = self.fingerprinter.sample_limit
         src_arr = arrays["open_src"]
         buf_off = arrays["open_buf_offsets"]
@@ -547,3 +751,4 @@ class IncrementalScanIdentifier:
         self._rec_sequential = [bool(v) for v in arrays["rec_sequential"]]
         self._rec_window = [int(v) for v in arrays["rec_window"]]
         self._rec_ttl = [int(v) for v in arrays["rec_ttl"]]
+        self.peak_buffered_bytes = self.buffered_bytes

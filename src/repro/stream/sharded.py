@@ -1,0 +1,366 @@
+"""Source-sharded parallel streaming: N identifiers over one capture.
+
+Scan sessions are a per-source construct — every statistic the pipeline
+derives from a session (boundaries, score, ports, modes, fingerprints)
+depends only on that source's own packets.  Partitioning the sources into N
+shards and running one :class:`~repro.stream.incremental.IncrementalScanIdentifier`
+per shard therefore changes *nothing* about any individual session, and the
+merged result is column-by-column bit-identical to the serial path at any
+shard count and any window size: each shard's table is exactly the serial
+table restricted to its sources, and the final ``lexsort((start, src_ip))``
+over the concatenated records reproduces the serial sort order (no ties —
+one source never appears in two shards).
+
+Execution modes:
+
+* ``workers=0`` walks the shards sequentially in this process (any
+  restartable :class:`~repro.stream.source.StreamSource` works, including
+  in-memory test sources);
+* ``workers>=1`` runs shards in a :class:`~concurrent.futures.ProcessPoolExecutor`
+  (the ``exec/parallel.py`` discipline: a module-level task function, pure
+  in its arguments).  Each worker re-opens the ``.rtrace`` by path through
+  the mmap reader, so the capture's pages are shared read-only between
+  workers by the page cache instead of being pickled across the pool.
+
+Checkpointing is per shard: each shard owns a content-addressed key
+(``key_for(..., shard=(i, n))``) and its snapshot carries one extra array —
+``shard_stream_pos``, the shard's position in the *raw* (unfiltered) packet
+stream — because the identifier's own ``packets_consumed`` counts only the
+shard's packets and cannot seek the shared source.  A killed sharded run
+resumes each shard independently from its newest snapshot.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.campaigns import CampaignCriteria, ScanTable
+from repro.core.fingerprints import ToolFingerprinter
+from repro.stream.checkpoint import CheckpointStore
+from repro.stream.engine import StreamConfig, as_stream_source
+from repro.stream.incremental import IncrementalScanIdentifier
+from repro.stream.source import (
+    DEFAULT_BATCH_SIZE,
+    StreamSource,
+    TraceStreamSource,
+)
+from repro.stream.stats import StreamStats, peak_rss_bytes, wall_clock
+
+PathLike = Union[str, Path]
+
+#: Knuth's multiplicative hash constant (2^32 / phi), used to decorrelate
+#: shard assignment from allocation structure in the source address space
+#: (sequential /24 neighbours land on different shards).
+_HASH_MULTIPLIER = np.uint64(2654435761)
+
+
+def shard_of(src_ip: np.ndarray, n_shards: int) -> np.ndarray:
+    """Shard index of each source address (vectorised, stable across runs).
+
+    A multiplicative hash in ``uint64`` (no wraparound: ``2^32 * 2^32/phi``
+    fits in 64 bits) followed by a modulo over the mixed low word.  Plain
+    ``src_ip % n`` would striped-assign adjacent addresses, concentrating a
+    sequentially-allocated scanner fleet onto few shards.
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    mixed = (src_ip.astype(np.uint64) * _HASH_MULTIPLIER) & np.uint64(
+        0xFFFFFFFF
+    )
+    return (mixed % np.uint64(n_shards)).astype(np.int64)
+
+
+@dataclass
+class ShardRun:
+    """One shard's contribution to a sharded run."""
+
+    shard: int
+    scans: ScanTable
+    stats: StreamStats
+    resumed: bool = False
+    checkpoint_key: Optional[str] = None
+
+
+@dataclass
+class ShardedStreamResult:
+    """Everything a sharded streaming run produced."""
+
+    scans: ScanTable
+    #: Aggregate view (see :meth:`StreamStats.merge` for the semantics).
+    stats: StreamStats
+    shards: List[ShardRun] = field(default_factory=list)
+    #: True when any shard restored a prior checkpoint.
+    resumed: bool = False
+
+
+def merge_scan_tables(tables: List[ScanTable]) -> ScanTable:
+    """Concatenate per-shard tables into serial finalisation order.
+
+    The serial path sorts its records with ``lexsort((start, src_ip))``;
+    re-sorting the concatenated shard columns the same way reproduces that
+    order exactly, because ``(src, start)`` pairs are unique (a source lives
+    in one shard, and one source never starts two sessions at the same
+    instant).  Byte-identity of every column follows: the rows themselves
+    were produced by the same scoring code over the same per-source packets.
+    """
+    tables = [t for t in tables if len(t)]
+    if not tables:
+        return ScanTable.empty()
+    if len(tables) == 1:
+        return tables[0]
+    src = np.concatenate([t.src_ip for t in tables])
+    start = np.concatenate([t.start for t in tables])
+    order = np.lexsort((start, src))
+    port_sets = [ports for t in tables for ports in t.port_sets]
+    return ScanTable(
+        src_ip=src[order],
+        start=start[order],
+        end=np.concatenate([t.end for t in tables])[order],
+        packets=np.concatenate([t.packets for t in tables])[order],
+        distinct_dsts=np.concatenate(
+            [t.distinct_dsts for t in tables]
+        )[order],
+        port_sets=[port_sets[i] for i in order],
+        primary_port=np.concatenate([t.primary_port for t in tables])[order],
+        tool=np.concatenate([t.tool for t in tables])[order],
+        match_fraction=np.concatenate(
+            [t.match_fraction for t in tables]
+        )[order],
+        speed_pps=np.concatenate([t.speed_pps for t in tables])[order],
+        coverage=np.concatenate([t.coverage for t in tables])[order],
+        sequential=np.concatenate([t.sequential for t in tables])[order],
+        window_mode=np.concatenate([t.window_mode for t in tables])[order],
+        ttl_mode=np.concatenate([t.ttl_mode for t in tables])[order],
+    )
+
+
+def _run_one_shard(
+    source: StreamSource,
+    shard: int,
+    n_shards: int,
+    criteria: CampaignCriteria,
+    fingerprinter: ToolFingerprinter,
+    config: StreamConfig,
+    progress: Optional[Callable[[int, StreamStats], None]] = None,
+) -> ShardRun:
+    """Stream one shard of ``source`` to completion.
+
+    Runs in the calling process — the serial fallback and the body of the
+    pool task both come here.  Pure in its arguments (RPR007): all state is
+    constructed locally, and the only writes are the shard's own
+    content-addressed checkpoint files.
+    """
+    identifier = IncrementalScanIdentifier(criteria, fingerprinter)
+
+    store: Optional[CheckpointStore] = None
+    key: Optional[str] = None
+    resumed = False
+    raw_pos = 0
+    if config.checkpoint_dir is not None:
+        identity = source.identity()
+        if identity is not None:
+            store = CheckpointStore(config.checkpoint_dir)
+            key = store.key_for(
+                identity, criteria, fingerprinter,
+                config.batch_size, config.window_s,
+                shard=(shard, n_shards),
+            )
+            arrays = store.load(key)
+            if arrays is not None:
+                raw_pos = int(arrays.pop("shard_stream_pos")[0])
+                identifier.restore(arrays)
+                resumed = identifier.packets_consumed > 0 or raw_pos > 0
+
+    stats = StreamStats(resumed_packets=identifier.packets_consumed)
+    started = wall_clock()
+
+    def refresh() -> None:
+        stats.packets = identifier.packets_consumed
+        stats.windows = identifier.windows_consumed
+        stats.open_sessions = identifier.open_sessions
+        stats.open_packets = identifier.open_packets
+        stats.candidate_sessions = identifier.candidate_sessions
+        stats.scans = identifier.scans_found
+        stats.sessions_discarded = identifier.sessions_discarded
+        stats.buffered_bytes = identifier.buffered_bytes
+        stats.peak_open_session_bytes = identifier.peak_buffered_bytes
+        stats.wall_s = wall_clock() - started
+        stats.peak_rss_bytes = peak_rss_bytes()
+
+    def save() -> None:
+        payload = identifier.snapshot()
+        # The shard's raw-stream position rides along *outside* the frozen
+        # snapshot schema (it is popped again before ``restore``): the
+        # identifier only counts the shard's packets, but a resume must
+        # seek the shared, unfiltered source.
+        payload["shard_stream_pos"] = np.array([raw_pos], dtype=np.int64)
+        store.save(key, payload)
+
+    windows_since_save = 0
+    for window in source.windows(skip_packets=raw_pos):
+        raw_pos += len(window)
+        if n_shards > 1:
+            window = window.where(shard_of(window.src_ip, n_shards) == shard)
+        identifier.consume(window)
+        windows_since_save += 1
+        if store is not None and windows_since_save >= config.checkpoint_every:
+            save()
+            windows_since_save = 0
+        if progress is not None:
+            refresh()
+            progress(shard, stats)
+
+    if store is not None:
+        save()
+    scans = identifier.finalize()
+    refresh()
+    stats.scans = len(scans)
+    return ShardRun(
+        shard=shard, scans=scans, stats=stats, resumed=resumed,
+        checkpoint_key=key,
+    )
+
+
+def _shard_stream_task(
+    path: str,
+    batch_size: Optional[int],
+    window_s: Optional[float],
+    strict: bool,
+    mmap: Optional[bool],
+    shard: int,
+    n_shards: int,
+    criteria: CampaignCriteria,
+    fingerprinter: ToolFingerprinter,
+    config: StreamConfig,
+) -> ShardRun:
+    """Worker entry point: one shard, re-opened from the capture path.
+
+    Must stay a module-level function (process pools pickle it by
+    reference).  The source is rebuilt inside the worker so only the path
+    and knobs cross the process boundary — the mapped pages of the capture
+    are then shared between workers by the OS page cache.
+    """
+    source = TraceStreamSource(
+        path, batch_size=batch_size, window_s=window_s, strict=strict,
+        mmap=mmap,
+    )
+    return _run_one_shard(
+        source, shard, n_shards, criteria, fingerprinter, config
+    )
+
+
+class ShardedStreamEngine:
+    """Bit-identical parallel streaming over source-hashed shards.
+
+    ``n_shards`` picks the parallelism of the *state* (how many independent
+    identifiers partition the sources); ``workers`` picks the parallelism of
+    the *execution* (how many processes walk shards concurrently).  They are
+    separate so a checkpointed run can change its worker count without
+    invalidating its per-shard checkpoints — the shard count, not the worker
+    count, is part of the checkpoint key.
+    """
+
+    def __init__(
+        self,
+        n_shards: int = 2,
+        workers: int = 0,
+        criteria: Optional[CampaignCriteria] = None,
+        fingerprinter: Optional[ToolFingerprinter] = None,
+        config: Optional[StreamConfig] = None,
+    ):
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if workers < 0:
+            raise ValueError("workers must be non-negative")
+        self.n_shards = n_shards
+        self.workers = workers
+        self.criteria = criteria if criteria is not None else CampaignCriteria()
+        self.fingerprinter = (
+            fingerprinter if fingerprinter is not None else ToolFingerprinter()
+        )
+        self.config = config if config is not None else StreamConfig()
+
+    def run(
+        self,
+        source: StreamSource,
+        progress: Optional[Callable[[int, StreamStats], None]] = None,
+    ) -> ShardedStreamResult:
+        """Stream every shard of ``source`` and merge the results.
+
+        ``progress`` (in-process mode only) is invoked as
+        ``progress(shard, stats)`` after each committed window.
+        """
+        if self.workers == 0:
+            runs = [
+                _run_one_shard(
+                    source, shard, self.n_shards, self.criteria,
+                    self.fingerprinter, self.config, progress=progress,
+                )
+                for shard in range(self.n_shards)
+            ]
+        else:
+            if not isinstance(source, TraceStreamSource):
+                raise ValueError(
+                    "worker processes need a path-backed capture; got "
+                    f"{type(source).__name__} (use workers=0, or stream an "
+                    ".rtrace file)"
+                )
+            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                futures = [
+                    pool.submit(
+                        _shard_stream_task,
+                        str(source.path), source.batch_size, source.window_s,
+                        source.strict, source.mmap, shard, self.n_shards,
+                        self.criteria, self.fingerprinter, self.config,
+                    )
+                    for shard in range(self.n_shards)
+                ]
+                runs = [future.result() for future in futures]
+        scans = merge_scan_tables([run.scans for run in runs])
+        stats = StreamStats.merge([run.stats for run in runs])
+        stats.scans = len(scans)
+        return ShardedStreamResult(
+            scans=scans,
+            stats=stats,
+            shards=runs,
+            resumed=any(run.resumed for run in runs),
+        )
+
+
+def identify_scans_sharded(
+    capture: Union[StreamSource, PathLike],
+    n_shards: int = 2,
+    workers: int = 0,
+    criteria: Optional[CampaignCriteria] = None,
+    fingerprinter: Optional[ToolFingerprinter] = None,
+    batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
+    window_s: Optional[float] = None,
+    checkpoint_dir: Optional[PathLike] = None,
+    mmap: Optional[bool] = None,
+) -> ScanTable:
+    """Sharded drop-in for :func:`repro.core.campaigns.identify_scans`.
+
+    Column-by-column identical to the batch path (and to
+    :func:`~repro.stream.engine.identify_scans_stream`) at any shard count,
+    window size, or worker count; see the module docstring for why.
+    """
+    source = as_stream_source(
+        capture, batch_size, window_s, mmap=mmap
+    )
+    engine = ShardedStreamEngine(
+        n_shards=n_shards,
+        workers=workers,
+        criteria=criteria,
+        fingerprinter=fingerprinter,
+        config=StreamConfig(
+            batch_size=batch_size,
+            window_s=window_s,
+            checkpoint_dir=checkpoint_dir,
+        ),
+    )
+    return engine.run(source).scans

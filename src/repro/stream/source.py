@@ -21,7 +21,7 @@ from typing import Any, Dict, Iterable, Iterator, List, Optional, Union
 import numpy as np
 
 from repro.telescope.packet import PacketBatch
-from repro.telescope.trace import MAGIC, TraceReader
+from repro.telescope.trace import MAGIC, TraceReader, open_trace_reader
 
 PathLike = Union[str, Path]
 
@@ -92,6 +92,19 @@ def rebatch(
                 if pending_n and bucket != pending_bucket:
                     yield take(pending_n)
                 pending_bucket = bucket
+            # Zero-copy fast path: with nothing buffered, a piece that fits
+            # the budget exactly IS the window — emit it as-is (the common
+            # case when the capture's chunk size is a multiple of the window
+            # budget, e.g. mmap chunks sliced by ``pieces_of``).  Buffered
+            # pieces still share memory with their chunk (``take`` pops
+            # views); only windows spanning chunk boundaries ever copy.
+            if (
+                not pending_n
+                and batch_size is not None
+                and len(piece) == batch_size
+            ):
+                yield piece
+                continue
             pending.append(piece)
             pending_n += len(piece)
             while batch_size is not None and pending_n >= batch_size:
@@ -119,10 +132,20 @@ class StreamSource:
 
 
 class TraceStreamSource(StreamSource):
-    """Windows over an ``.rtrace`` capture, built on :class:`TraceReader`.
+    """Windows over an ``.rtrace`` capture.
 
-    ``skip_packets`` fast-forwards with chunk-header seeks (checkpoint
-    resume), so a resumed run re-reads almost none of the committed bytes.
+    ``mmap=None`` (the default) reads through the zero-copy
+    :class:`~repro.telescope.trace.MappedTraceReader` where the platform
+    supports it, falling back to the buffered :class:`TraceReader`
+    elsewhere; ``True`` requires the mapped reader, ``False`` forces the
+    buffered one.  On the mapped path the windows handed to the engine are
+    read-only views straight into the file — the sensor filter, re-batching
+    and session building all run over the mapped pages in one pass, with a
+    copy only where a window genuinely spans two chunks.
+
+    ``skip_packets`` fast-forwards for checkpoint resume: an index seek on
+    the mapped reader, chunk-header seeks on the buffered one — either way a
+    resumed run re-reads almost none of the committed bytes.
     """
 
     def __init__(
@@ -131,11 +154,13 @@ class TraceStreamSource(StreamSource):
         batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
         window_s: Optional[float] = None,
         strict: bool = True,
+        mmap: Optional[bool] = None,
     ):
         self.path = Path(path)
         self.batch_size = batch_size
         self.window_s = window_s
         self.strict = strict
+        self.mmap = mmap
         #: Mirrors ``TraceReader.truncated`` after a ``windows()`` pass.
         self.truncated = False
         with TraceReader(self.path, strict=strict) as reader:
@@ -160,7 +185,9 @@ class TraceStreamSource(StreamSource):
         }
 
     def windows(self, skip_packets: int = 0) -> Iterator[PacketBatch]:
-        with TraceReader(self.path, strict=self.strict) as reader:
+        with open_trace_reader(
+            self.path, strict=self.strict, use_mmap=self.mmap
+        ) as reader:
             chunks: Iterator[PacketBatch]
             if skip_packets:
                 remainder = reader.skip_packets(skip_packets)

@@ -18,7 +18,7 @@ from __future__ import annotations
 import sys
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict
+from typing import Any, Dict, Sequence
 
 
 def wall_clock() -> float:
@@ -74,6 +74,10 @@ class StreamStats:
     sessions_discarded: int = 0
     #: Bytes buffered by open-session accumulators (column copies only).
     buffered_bytes: int = 0
+    #: High-water mark of ``buffered_bytes`` over the run — the bounded-
+    #: memory guarantee in one number (``buffered_bytes`` itself drains to 0
+    #: by the time a run finishes, so only the peak is meaningful then).
+    peak_open_session_bytes: int = 0
     #: Wall-clock seconds spent streaming (excludes skipped resume windows).
     wall_s: float = 0.0
     #: Peak resident-set size of the process, bytes.
@@ -115,7 +119,38 @@ class StreamStats:
             "scans": self.scans,
             "sessions_discarded": self.sessions_discarded,
             "buffered_bytes": self.buffered_bytes,
+            "peak_open_session_bytes": self.peak_open_session_bytes,
             "wall_s": self.wall_s,
             "packets_per_s": self.packets_per_s,
             "peak_rss_bytes": self.peak_rss_bytes,
         }
+
+    @classmethod
+    def merge(cls, parts: Sequence["StreamStats"]) -> "StreamStats":
+        """Aggregate per-shard stats into one run-level view.
+
+        Shards partition the sources, so additive counters (packets, scans,
+        discards, open-session gauges) simply sum.  Windows do not: every
+        shard walks the same raw window sequence, so the aggregate keeps the
+        maximum.  Wall time is the slowest shard (shards overlap when run in
+        worker processes), and the memory gauges keep the per-shard maximum —
+        the bound the sharded design promises is *per shard*, not summed
+        across a fleet of workers.
+        """
+        out = cls(peak_rss_bytes=0)
+        for part in parts:
+            out.packets += part.packets
+            out.resumed_packets += part.resumed_packets
+            out.open_sessions += part.open_sessions
+            out.open_packets += part.open_packets
+            out.candidate_sessions += part.candidate_sessions
+            out.scans += part.scans
+            out.sessions_discarded += part.sessions_discarded
+            out.buffered_bytes += part.buffered_bytes
+            out.windows = max(out.windows, part.windows)
+            out.wall_s = max(out.wall_s, part.wall_s)
+            out.peak_open_session_bytes = max(
+                out.peak_open_session_bytes, part.peak_open_session_bytes
+            )
+            out.peak_rss_bytes = max(out.peak_rss_bytes, part.peak_rss_bytes)
+        return out

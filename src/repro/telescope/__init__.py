@@ -48,10 +48,14 @@ from repro.telescope.pcap import (
     write_pcap,
 )
 from repro.telescope.trace import (
+    MappedTraceReader,
     TraceFormatError,
+    TraceIndex,
     TraceReader,
     TraceWriter,
     iter_trace,
+    mmap_supported,
+    open_trace_reader,
     read_trace,
     read_trace_meta,
     write_trace,
@@ -90,10 +94,14 @@ __all__ = [
     "iter_pcap",
     "read_pcap",
     "write_pcap",
+    "MappedTraceReader",
     "TraceFormatError",
+    "TraceIndex",
     "TraceReader",
     "TraceWriter",
     "iter_trace",
+    "mmap_supported",
+    "open_trace_reader",
     "read_trace",
     "read_trace_meta",
     "write_trace",

@@ -23,11 +23,16 @@ import io
 import json
 import struct
 from pathlib import Path
-from typing import Any, Dict, Iterable, Iterator, Optional, Tuple, Union
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.telescope.packet import PacketBatch
+
+try:  # pragma: no cover - mmap is stdlib on every supported platform
+    import mmap as _mmap
+except ImportError:  # pragma: no cover - exotic builds without mmap
+    _mmap = None
 
 MAGIC = b"RTRACE01"
 
@@ -248,6 +253,290 @@ class TraceReader:
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self._file.close()
+
+
+#: Byte offset of each column inside a chunk's data block, per packet: the
+#: columns are laid out back to back, so column ``k`` of an ``n``-packet
+#: chunk starts ``n * _COL_PREFIX[k]`` bytes into the block.
+_COL_PREFIX: Tuple[int, ...] = tuple(
+    sum(np.dtype(dtype).itemsize for _, dtype in _COLUMN_ORDER[:k])
+    for k in range(len(_COLUMN_ORDER))
+)
+
+
+def mmap_supported() -> bool:
+    """True when this platform can memory-map trace files."""
+    return _mmap is not None
+
+
+class TraceIndex:
+    """Chunk directory of an ``.rtrace`` file, built from the headers alone.
+
+    One forward walk over the chunk headers (a few bytes per chunk, no
+    column deserialisation) yields, per chunk, the byte offset of its data
+    block and its packet count.  With the index in hand, random access is
+    O(log chunks): ``skip_packets`` becomes a binary search over the
+    cumulative packet counts instead of a header-by-header scan.
+    """
+
+    __slots__ = ("offsets", "counts", "cum_counts", "truncated")
+
+    def __init__(
+        self,
+        offsets: List[int],
+        counts: List[int],
+        truncated: bool,
+    ):
+        #: Byte offset of each chunk's column data (past its 4-byte header).
+        self.offsets = offsets
+        #: Packets per chunk.
+        self.counts = counts
+        #: ``cum_counts[i]`` = packets in chunks ``0..i`` inclusive.
+        self.cum_counts = np.cumsum(np.asarray(counts, dtype=np.int64))
+        #: True when a cleanly-truncated final chunk was dropped
+        #: (``strict=False`` only).
+        self.truncated = truncated
+
+    @property
+    def n_chunks(self) -> int:
+        return len(self.offsets)
+
+    @property
+    def total_packets(self) -> int:
+        return int(self.cum_counts[-1]) if len(self.counts) else 0
+
+    @classmethod
+    def build(
+        cls, buf, start: int, size: int, path: Path, strict: bool
+    ) -> "TraceIndex":
+        """Walk the chunk headers of ``buf[start:size]``.
+
+        ``buf`` is any random-access byte buffer (an ``mmap``, a ``bytes``).
+        Raises :class:`TraceFormatError` on damage under ``strict=True``;
+        otherwise a truncated tail ends the index with ``truncated`` set,
+        mirroring :class:`TraceReader`'s non-strict semantics.
+        """
+        offsets: List[int] = []
+        counts: List[int] = []
+        truncated = False
+        pos = start
+        batch_index = 0
+        while True:
+            if pos + 4 > size:
+                if pos == size:
+                    break  # missing terminator: tolerate as end of stream
+                if strict:
+                    raise TraceFormatError(
+                        f"truncated trace file {path}: partial chunk header "
+                        f"at byte offset {size} (batch {batch_index})"
+                    )
+                truncated = True
+                break
+            (count,) = struct.unpack("<I", buf[pos:pos + 4])
+            if count == 0:
+                break
+            data = pos + 4
+            nbytes = count * _ROW_BYTES
+            if data + nbytes > size:
+                if strict:
+                    raise TraceFormatError(
+                        f"truncated trace file {path}: short read of chunk "
+                        f"data at byte offset {size} (batch {batch_index}, "
+                        f"got {size - data} of {nbytes} bytes)"
+                    )
+                truncated = True
+                break
+            offsets.append(data)
+            counts.append(count)
+            batch_index += 1
+            pos = data + nbytes
+        return cls(offsets, counts, truncated)
+
+
+class MappedTraceReader:
+    """Zero-copy ``.rtrace`` reader over a memory-mapped file.
+
+    Drop-in for :class:`TraceReader` on the read side (context manager,
+    chunk iteration, ``skip_packets``, ``meta``, ``truncated``), with two
+    structural differences:
+
+    * chunks come back as :class:`PacketBatch` columns that are **read-only
+      views straight into the mapped file** — no deserialisation copy, no
+      per-column allocation; the OS pages data in on first touch and is
+      free to evict it again, so reading a capture larger than RAM costs
+      only page-cache churn;
+    * the chunk directory is built once from the headers
+      (:class:`TraceIndex`), so ``skip_packets`` is a binary search plus a
+      view construction instead of a header-by-header seek scan, and random
+      chunk access (:meth:`chunk`) is O(1).
+
+    Format validation happens while the index is built, so a damaged file
+    fails on ``__enter__`` (or, with ``strict=False``, drops the partial
+    tail exactly like :class:`TraceReader`).
+
+    Lifetime: batches handed out remain valid after the reader closes —
+    the mapping is only released once the last view is garbage-collected
+    (``close`` drops the file descriptor immediately but unmaps lazily).
+    Use :func:`mmap_supported` / ``TraceStreamSource(mmap=False)`` on
+    platforms without ``mmap``.
+    """
+
+    def __init__(self, path: PathLike, strict: bool = True):
+        if _mmap is None:  # pragma: no cover - exotic builds without mmap
+            raise TraceFormatError(
+                f"cannot memory-map {path}: this platform has no mmap "
+                "support; use the buffered TraceReader instead"
+            )
+        self._path = Path(path)
+        self._strict = strict
+        self.meta: Dict[str, Any] = {}
+        self.truncated = False
+        self.index: Optional[TraceIndex] = None
+        self._mm = None
+        self._next_chunk = 0
+
+    def __enter__(self) -> "MappedTraceReader":
+        fh = open(self._path, "rb")
+        try:
+            try:
+                self._mm = _mmap.mmap(fh.fileno(), 0, access=_mmap.ACCESS_READ)
+            except ValueError:
+                # Zero-length file: cannot be mapped, and cannot be a trace.
+                raise TraceFormatError(f"bad magic in {self._path}: b''")
+        finally:
+            # The mapping outlives the descriptor on every platform.
+            fh.close()
+        mm = self._mm
+        size = len(mm)
+        magic = bytes(mm[: len(MAGIC)])
+        if magic != MAGIC:
+            self.close()
+            if magic.startswith(b"RTRACE"):
+                raise TraceFormatError(
+                    f"unsupported trace format version {magic!r} in "
+                    f"{self._path}: this reader supports {MAGIC!r}"
+                )
+            raise TraceFormatError(f"bad magic in {self._path}: {magic!r}")
+        try:
+            if size < len(MAGIC) + 4:
+                raise TraceFormatError(
+                    f"truncated trace file {self._path}: short read of "
+                    f"metadata length at byte offset {size} (batch 0)"
+                )
+            (meta_len,) = struct.unpack(
+                "<I", mm[len(MAGIC): len(MAGIC) + 4]
+            )
+            meta_end = len(MAGIC) + 4 + meta_len
+            if meta_end > size:
+                raise TraceFormatError(
+                    f"truncated trace file {self._path}: short read of "
+                    f"metadata block at byte offset {size} (batch 0)"
+                )
+            self.meta = json.loads(bytes(mm[len(MAGIC) + 4: meta_end]))
+            self.index = TraceIndex.build(
+                mm, meta_end, size, self._path, self._strict
+            )
+        except TraceFormatError:
+            self.close()
+            raise
+        self.truncated = self.index.truncated
+        self._next_chunk = 0
+        return self
+
+    # -- access --------------------------------------------------------------
+
+    @property
+    def total_packets(self) -> int:
+        """Packets in the capture (index lookup, no data touched)."""
+        if self.index is None:
+            raise RuntimeError("MappedTraceReader must be entered first")
+        return self.index.total_packets
+
+    def chunk(self, i: int, start: int = 0) -> PacketBatch:
+        """Chunk ``i`` (optionally from packet ``start``) as zero-copy views."""
+        if self.index is None:
+            raise RuntimeError("MappedTraceReader must be entered first")
+        data = self.index.offsets[i]
+        count = self.index.counts[i]
+        cols: Dict[str, np.ndarray] = {}
+        for (name, dtype), prefix in zip(_COLUMN_ORDER, _COL_PREFIX):
+            col = np.frombuffer(
+                self._mm, dtype=dtype, count=count, offset=data + count * prefix
+            )
+            cols[name] = col if start == 0 else col[start:]
+        return PacketBatch(**cols)
+
+    def skip_packets(self, count: int) -> PacketBatch:
+        """Advance past ``count`` packets via the index; returns the remainder.
+
+        Equivalent to :meth:`TraceReader.skip_packets`, but a binary search
+        over the cumulative chunk counts replaces the header-by-header seek
+        scan, and the mid-chunk remainder comes back as a zero-copy view.
+        """
+        if self.index is None:
+            raise RuntimeError("MappedTraceReader must be entered first")
+        if count < 0:
+            raise ValueError("cannot skip a negative packet count")
+        if count == 0:
+            self._next_chunk = 0
+            return PacketBatch.empty()
+        total = self.index.total_packets
+        if count > total:
+            raise ValueError(
+                f"cannot skip {count} packets: {self._path} ends "
+                f"{count - total} packets short"
+            )
+        # First chunk whose cumulative count exceeds the skip point.
+        i = int(np.searchsorted(self.index.cum_counts, count, side="left"))
+        if self.index.cum_counts[i] == count:
+            # Skip point lands exactly on a chunk boundary.
+            self._next_chunk = i + 1
+            return PacketBatch.empty()
+        before = int(self.index.cum_counts[i - 1]) if i else 0
+        self._next_chunk = i + 1
+        return self.chunk(i, start=count - before)
+
+    def __iter__(self) -> Iterator[PacketBatch]:
+        if self.index is None:
+            raise RuntimeError("MappedTraceReader must be entered first")
+        while self._next_chunk < self.index.n_chunks:
+            i = self._next_chunk
+            self._next_chunk = i + 1
+            yield self.chunk(i)
+
+    def close(self) -> None:
+        if self._mm is not None:
+            try:
+                self._mm.close()
+            except BufferError:
+                # Zero-copy views into the map are still alive; the mapping
+                # is released when the last of them is garbage-collected.
+                pass
+            self._mm = None
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def open_trace_reader(
+    path: PathLike,
+    strict: bool = True,
+    use_mmap: Optional[bool] = None,
+) -> Union[TraceReader, MappedTraceReader]:
+    """Pick a trace reader: mapped when possible, buffered otherwise.
+
+    ``use_mmap=None`` (the default) selects the zero-copy mapped reader on
+    platforms that support it and falls back to the buffered reader
+    elsewhere; ``True`` requires the mapped reader (raising
+    :class:`TraceFormatError` where unavailable); ``False`` forces the
+    buffered reader.  Both readers share the iteration / ``skip_packets``
+    interface, so callers need no further branching.
+    """
+    if use_mmap is None:
+        use_mmap = mmap_supported()
+    if use_mmap:
+        return MappedTraceReader(path, strict=strict)
+    return TraceReader(path, strict=strict)
 
 
 def write_trace(

@@ -6,15 +6,19 @@ import numpy as np
 import pytest
 
 from repro.telescope import (
+    MappedTraceReader,
     PacketBatch,
     SynPacket,
     TraceFormatError,
     TraceReader,
     TraceWriter,
     iter_trace,
+    mmap_supported,
+    open_trace_reader,
     read_trace,
     write_trace,
 )
+from repro.telescope import trace as trace_module
 
 
 def sample_batch(n=100):
@@ -233,3 +237,168 @@ class TestSkipPackets:
         with TraceReader(path) as r:
             with pytest.raises(ValueError):
                 r.skip_packets(-1)
+
+
+class TestMappedReader:
+    """The zero-copy mmap reader must be a drop-in for TraceReader."""
+
+    @pytest.mark.parametrize("n,chunk_size", [(1, 10), (100, 100), (250, 100),
+                                              (250, 30), (1000, 256)])
+    def test_equivalent_to_buffered(self, tmp_path, n, chunk_size):
+        batch = sample_batch(n)
+        path = tmp_path / "t.rtrace"
+        write_trace(path, batch, meta={"year": 2020}, chunk_size=chunk_size)
+        with TraceReader(path) as buffered:
+            expected = list(buffered)
+            expected_meta = buffered.meta
+        with MappedTraceReader(path) as mapped:
+            assert mapped.meta == expected_meta
+            assert mapped.total_packets == n
+            chunks = list(mapped)
+        assert [len(c) for c in chunks] == [len(c) for c in expected]
+        for got, want in zip(chunks, expected):
+            for name, col in want.columns().items():
+                assert np.array_equal(got.columns()[name], col), name
+
+    def test_views_are_zero_copy_and_readonly(self, tmp_path):
+        path = tmp_path / "t.rtrace"
+        write_trace(path, sample_batch(64))
+        with MappedTraceReader(path) as mapped:
+            (chunk,) = list(mapped)
+            for name, col in chunk.columns().items():
+                assert not col.flags.writeable, name
+                assert not col.flags.owndata, name  # a view into the map
+                with pytest.raises(ValueError):
+                    col[0] = 0
+
+    def test_views_survive_reader_close(self, tmp_path):
+        batch = sample_batch(64)
+        path = tmp_path / "t.rtrace"
+        write_trace(path, batch)
+        with MappedTraceReader(path) as mapped:
+            (chunk,) = list(mapped)
+        # The context has exited; the mapping is released lazily, so the
+        # views stay readable.
+        assert np.array_equal(chunk.seq, batch.seq)
+
+    def test_empty_capture(self, tmp_path):
+        path = tmp_path / "empty.rtrace"
+        write_trace(path, PacketBatch.empty())
+        with MappedTraceReader(path) as mapped:
+            assert mapped.total_packets == 0
+            assert list(mapped) == []
+
+    def test_skip_via_index(self, tmp_path):
+        batch = sample_batch(100)
+        path = tmp_path / "t.rtrace"
+        write_trace(path, batch, chunk_size=30)
+        # Whole-chunk boundary.
+        with MappedTraceReader(path) as mapped:
+            remainder = mapped.skip_packets(60)
+            assert len(remainder) == 0
+            rest = PacketBatch.concat([remainder] + list(mapped))
+        assert np.array_equal(rest.time, batch.time[60:])
+        # Mid-chunk: the remainder is a zero-copy view.
+        with MappedTraceReader(path) as mapped:
+            remainder = mapped.skip_packets(45)
+            assert len(remainder) == 15
+            assert not remainder.time.flags.owndata
+            rest = PacketBatch.concat([remainder] + list(mapped))
+        assert np.array_equal(rest.src_ip, batch.src_ip[45:])
+        # Zero, beyond-end and negative match the buffered reader.
+        with MappedTraceReader(path) as mapped:
+            assert len(mapped.skip_packets(0)) == 0
+            assert len(PacketBatch.concat(list(mapped))) == 100
+        with MappedTraceReader(path) as mapped:
+            with pytest.raises(ValueError):
+                mapped.skip_packets(101)
+            with pytest.raises(ValueError):
+                mapped.skip_packets(-1)
+
+    def test_bad_magic_and_version_errors(self, tmp_path):
+        bad = tmp_path / "bad.rtrace"
+        bad.write_bytes(b"NOTTRACE" + b"\x00" * 16)
+        with pytest.raises(TraceFormatError):
+            with MappedTraceReader(bad):
+                pass
+        old = tmp_path / "old.rtrace"
+        old.write_bytes(b"RTRACE99" + b"\x00" * 16)
+        with pytest.raises(TraceFormatError) as excinfo:
+            with MappedTraceReader(old):
+                pass
+        message = str(excinfo.value)
+        assert "RTRACE99" in message and "RTRACE01" in message
+
+    def test_empty_file_is_bad_magic(self, tmp_path):
+        empty = tmp_path / "zero.rtrace"
+        empty.write_bytes(b"")
+        with pytest.raises(TraceFormatError) as excinfo:
+            with MappedTraceReader(empty):
+                pass
+        assert "bad magic" in str(excinfo.value)
+
+    def test_strict_truncated_chunk_raises(self, tmp_path):
+        good = tmp_path / "good.rtrace"
+        write_trace(good, sample_batch(50), chunk_size=20)
+        data = good.read_bytes()
+        bad = tmp_path / "bad.rtrace"
+        header = 8 + 4 + 2
+        chunk_bytes = 4 + 20 * 30
+        bad.write_bytes(data[: header + chunk_bytes + chunk_bytes // 2])
+        with pytest.raises(TraceFormatError) as excinfo:
+            with MappedTraceReader(bad):
+                pass
+        message = str(excinfo.value)
+        assert "byte offset" in message and "batch 1" in message
+
+    def test_non_strict_drops_partial_final_chunk(self, tmp_path):
+        good = tmp_path / "good.rtrace"
+        write_trace(good, sample_batch(50), chunk_size=20)
+        data = good.read_bytes()
+        bad = tmp_path / "bad.rtrace"
+        header = 8 + 4 + 2
+        chunk_bytes = 4 + 20 * 30
+        bad.write_bytes(data[: header + 2 * chunk_bytes + 100])
+        with MappedTraceReader(bad, strict=False) as mapped:
+            chunks = list(mapped)
+            assert mapped.truncated
+        assert [len(c) for c in chunks] == [20, 20]
+        # Same packets as the buffered reader's non-strict read.
+        with TraceReader(bad, strict=False) as buffered:
+            assert [len(c) for c in buffered] == [20, 20]
+
+    def test_missing_terminator_tolerated(self, tmp_path):
+        good = tmp_path / "good.rtrace"
+        write_trace(good, sample_batch(10))
+        trimmed = tmp_path / "trimmed.rtrace"
+        trimmed.write_bytes(good.read_bytes()[:-4])
+        with MappedTraceReader(trimmed) as mapped:
+            assert sum(len(c) for c in mapped) == 10
+
+
+class TestOpenTraceReader:
+    def test_auto_picks_mapped_when_supported(self, tmp_path):
+        path = tmp_path / "t.rtrace"
+        write_trace(path, sample_batch(10))
+        reader = open_trace_reader(path)
+        expected = MappedTraceReader if mmap_supported() else TraceReader
+        assert isinstance(reader, expected)
+
+    def test_forced_buffered(self, tmp_path):
+        path = tmp_path / "t.rtrace"
+        write_trace(path, sample_batch(10))
+        with open_trace_reader(path, use_mmap=False) as reader:
+            assert isinstance(reader, TraceReader)
+            assert sum(len(c) for c in reader) == 10
+
+    def test_fallback_when_mmap_unavailable(self, tmp_path, monkeypatch):
+        """Platforms without mmap transparently get the buffered reader."""
+        path = tmp_path / "t.rtrace"
+        write_trace(path, sample_batch(10))
+        monkeypatch.setattr(trace_module, "_mmap", None)
+        assert not mmap_supported()
+        with open_trace_reader(path) as reader:  # auto falls back
+            assert isinstance(reader, TraceReader)
+            assert sum(len(c) for c in reader) == 10
+        with pytest.raises(TraceFormatError):  # forcing mmap now fails
+            open_trace_reader(path, use_mmap=True)
