@@ -69,6 +69,38 @@ def test_perf_stream_identify(perf_batch, benchmark):
     assert len(table) > 100
 
 
+def test_perf_stream_report(perf_batch, sims, benchmark):
+    """The one-pass streaming paper report (identification + incremental
+    analyses), the path 'repro-scan stream --report' exercises.
+
+    Records the analysis accumulators' state footprint next to throughput:
+    the analyses must stay a bounded add-on, not a second copy of the
+    capture.
+    """
+    from repro.stream import stream_report
+
+    sim = sims[2020]
+    classifier = ScannerClassifier(sim.registry)
+    holder = {}
+
+    def work():
+        result = stream_report(
+            BatchStreamSource(perf_batch, batch_size=65_536),
+            year=sim.year, days=sim.days,
+            batch_size=65_536, classifier=classifier,
+        )
+        holder["result"] = result
+        return result.report
+
+    report = benchmark.pedantic(work, rounds=3, iterations=1)
+    stats = holder["result"].stats
+    benchmark.extra_info["packets"] = stats.packets
+    benchmark.extra_info["stream_packets_per_s"] = round(stats.packets_per_s)
+    benchmark.extra_info["analysis_state_bytes"] = stats.analysis_state_bytes
+    assert report.scans > 100
+    assert 0 < stats.analysis_state_bytes < perf_batch.memory_bytes()
+
+
 def test_perf_stream_sharded(perf_batch, benchmark, tmp_path):
     """Source-sharded parallel streaming over a memory-mapped trace.
 

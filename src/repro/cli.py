@@ -37,8 +37,10 @@ from repro.core import (
     type_shares,
 )
 from repro.core.fingerprints import ToolFingerprinter
+from repro.core.report import paper_report
 from repro.enrichment import ScannerClassifier, build_default_registry
 from repro.reporting import (
+    render_paper_report,
     render_scorecard,
     render_table1,
     render_table2,
@@ -54,6 +56,7 @@ from repro.stream import (
     TraceStreamSource,
     format_bytes,
     peak_rss_bytes,
+    stream_report,
 )
 from repro.telescope import (
     PacketBatch,
@@ -106,6 +109,10 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="override the capture's year metadata")
     ana.add_argument("--days", type=int, default=None,
                      help="override the capture's period length")
+    ana.add_argument("--report", action="store_true",
+                     help="print the combined paper report (trends, "
+                          "volatility, recurrence, churn) instead of the "
+                          "Table 1/2 summary")
     _add_capture_flags(ana)
 
     stm = sub.add_parser(
@@ -133,6 +140,15 @@ def _build_parser() -> argparse.ArgumentParser:
                      default=None,
                      help="force (--mmap) or forbid (--no-mmap) the "
                           "zero-copy mapped trace reader; default auto")
+    stm.add_argument("--report", action="store_true",
+                     help="run the incremental analyses alongside the "
+                          "identifier and print the combined paper report "
+                          "(equal to 'analyze --report', in one bounded-"
+                          "memory pass)")
+    stm.add_argument("--year", type=int, default=None,
+                     help="override the capture's year metadata (--report)")
+    stm.add_argument("--days", type=int, default=None,
+                     help="override the capture's period length (--report)")
     _add_capture_flags(stm)
 
     rep = sub.add_parser("report", help="simulate years and print Table 1")
@@ -276,6 +292,11 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     classifier = ScannerClassifier(build_default_registry())
     analysis = analyze_period(batch, year=int(year), days=int(days),
                               classifier=classifier)
+    if args.report:
+        # Report only on stdout — 'stream --report' promises byte-equal
+        # output, so CI can diff the two commands directly.
+        print(render_paper_report(paper_report(analysis)))
+        return 0
     summary = summarize_period(analysis)
     print(render_table1({int(year): summary}))
     print()
@@ -337,6 +358,9 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         print("error: --shards must be >= 1", file=sys.stderr)
         return 2
     source = _capture_source(args, strict=config.strict)
+
+    if args.report:
+        return _stream_report_cmd(args, source, config)
 
     if args.shards > 1:
         progress = None
@@ -401,6 +425,63 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         import json
 
         args.stats_json.write_text(json.dumps(result.stats.to_dict(), indent=2))
+        print(f"stats written to {args.stats_json}", file=sys.stderr)
+    return 0
+
+
+def _stream_report_cmd(
+    args: argparse.Namespace, source, config: StreamConfig
+) -> int:
+    """``stream --report``: the paper report in one bounded-memory pass.
+
+    Only the report itself goes to stdout (progress, stats and scan counts
+    go to stderr), so its output is byte-diffable against
+    ``analyze --report``.
+    """
+    progress = None
+    if args.progress_every > 0 and (args.shards == 1 or args.workers == 0):
+        every = args.progress_every
+        if args.shards > 1:
+            def progress(shard, stats):
+                if stats.windows % every == 0:
+                    print(f"shard {shard}: {stats.progress_line()}",
+                          file=sys.stderr)
+        else:
+            def progress(stats):
+                if stats.windows % every == 0:
+                    print(stats.progress_line(), file=sys.stderr)
+
+    try:
+        result = stream_report(
+            source,
+            year=args.year,
+            days=args.days,
+            n_shards=args.shards,
+            workers=args.workers,
+            batch_size=config.batch_size,
+            window_s=config.window_s,
+            checkpoint_dir=config.checkpoint_dir,
+            checkpoint_every=config.checkpoint_every,
+            strict=config.strict,
+            progress=progress,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if result.resumed:
+        print(f"resumed from checkpoint past "
+              f"{result.stats.resumed_packets:,} packets", file=sys.stderr)
+    print(result.stats.summary_line(), file=sys.stderr)
+    print(f"identified {len(result.scans):,} scan(s); analysis state "
+          f"{format_bytes(result.stats.analysis_state_bytes)}",
+          file=sys.stderr)
+    print(render_paper_report(result.report))
+    if args.stats_json is not None:
+        import json
+
+        args.stats_json.write_text(
+            json.dumps(result.stats.to_dict(), indent=2)
+        )
         print(f"stats written to {args.stats_json}", file=sys.stderr)
     return 0
 

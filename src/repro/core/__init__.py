@@ -54,9 +54,12 @@ from repro.core.ports_analysis import (
 )
 from repro.core.volatility import (
     VolatilitySummary,
+    dense_weekly_counts,
+    summaries_from_counts,
     volatility_summary,
     weekly_change_factors,
     weekly_slash16_counts,
+    weeks_in_period,
 )
 from repro.core.events import (
     EventResponse,
@@ -86,9 +89,12 @@ from repro.core.coverage import (
 )
 from repro.core.recurrence import (
     RecurrenceStats,
+    daily_cadence_sources,
     institutional_daily_scanners,
     recurrence_by_type,
     recurrence_stats,
+    recurrence_stats_arrays,
+    split_scan_times,
 )
 from repro.core.classification import (
     TypeCapability,
@@ -111,8 +117,10 @@ from repro.core.churn import (
     correct_source_count,
     cumulative_distinct_sources,
     expected_distinct_sources,
+    first_appearance_days,
     fit_population,
     fit_population_by_type,
+    fit_population_curve,
 )
 from repro.core.trends import (
     CLASSIC_PORTS,
@@ -121,12 +129,22 @@ from repro.core.trends import (
     TrendLine,
     scan_intensity,
     classic_port_share_trend,
+    concentration_from_packets,
     country_distribution_entropy,
+    entropy_from_counts,
+    intensity_from_arrays,
     metric_trend,
     port_distribution_entropy,
     port_rank_stability,
     port_share,
     traffic_concentration,
+)
+from repro.core.report import (
+    ChurnReport,
+    PaperReport,
+    RecurrenceReport,
+    TrendsReport,
+    paper_report,
 )
 from repro.core.collaboration import (
     BiasReport,
@@ -173,7 +191,8 @@ __all__ = [
     "service_density_correlation", "speed_ports_correlation",
     "tool_port_footprint", "vertical_scan_counts",
     # volatility
-    "VolatilitySummary", "volatility_summary", "weekly_change_factors",
+    "VolatilitySummary", "dense_weekly_counts", "summaries_from_counts",
+    "volatility_summary", "weekly_change_factors", "weeks_in_period",
     "weekly_slash16_counts",
     # events
     "EventResponse", "event_response", "multi_event_responses",
@@ -187,8 +206,9 @@ __all__ = [
     "collaborating_subnets", "coverage_by_tool", "coverage_modes",
     "coverage_stats",
     # recurrence
-    "RecurrenceStats", "institutional_daily_scanners", "recurrence_by_type",
-    "recurrence_stats",
+    "RecurrenceStats", "daily_cadence_sources",
+    "institutional_daily_scanners", "recurrence_by_type",
+    "recurrence_stats", "recurrence_stats_arrays", "split_scan_times",
     # classification
     "TypeCapability", "TypeShares", "capability_by_type",
     "institutional_speed_ratio", "port_type_distribution", "type_shares",
@@ -198,13 +218,18 @@ __all__ = [
     # churn
     "ChurnFit", "TYPICAL_LIFETIME_DAYS", "correct_source_count",
     "cumulative_distinct_sources", "expected_distinct_sources",
-    "fit_population", "fit_population_by_type",
+    "first_appearance_days", "fit_population", "fit_population_by_type",
+    "fit_population_curve",
     # trends
     "CLASSIC_PORTS", "ConcentrationReport", "IntensityReport", "TrendLine",
     "scan_intensity",
     "classic_port_share_trend", "country_distribution_entropy",
     "metric_trend", "port_distribution_entropy", "port_rank_stability",
-    "port_share", "traffic_concentration",
+    "port_share", "traffic_concentration", "concentration_from_packets",
+    "entropy_from_counts", "intensity_from_arrays",
+    # report
+    "ChurnReport", "PaperReport", "RecurrenceReport", "TrendsReport",
+    "paper_report",
     # collaboration
     "BiasReport", "DistributedCampaign", "MergedCampaign", "MergeEvaluation",
     "detect_distributed_campaigns", "evaluate_merging",

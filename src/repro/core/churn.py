@@ -62,19 +62,28 @@ def correct_source_count(
     return observed_sources / (1.0 + period_days / lifetime_days)
 
 
+def first_appearance_days(batch: PacketBatch, days: int) -> Tuple[np.ndarray, np.ndarray]:
+    """First-appearance day per distinct source of one batch (or window).
+
+    Returns ``(sources, first_days)`` with the sources sorted ascending.
+    Shared by the batch cumulative curve and the streaming churn
+    accumulator (which dedupes these against its already-seen sources).
+    """
+    day_idx = np.minimum((batch.time // _DAY_S).astype(np.int64), days - 1)
+    order = np.lexsort((day_idx, batch.src_ip))
+    src_sorted = batch.src_ip[order]
+    day_sorted = day_idx[order]
+    first_mask = np.concatenate([[True], src_sorted[1:] != src_sorted[:-1]])
+    return src_sorted[first_mask], day_sorted[first_mask]
+
+
 def cumulative_distinct_sources(batch: PacketBatch, days: int) -> np.ndarray:
     """Cumulative count of distinct source addresses by end of each day."""
     if days < 1:
         raise ValueError("days must be >= 1")
     if len(batch) == 0:
         return np.zeros(days, dtype=np.int64)
-    day_idx = np.minimum((batch.time // _DAY_S).astype(np.int64), days - 1)
-    # First appearance day per source.
-    order = np.lexsort((day_idx, batch.src_ip))
-    src_sorted = batch.src_ip[order]
-    day_sorted = day_idx[order]
-    first_mask = np.concatenate([[True], src_sorted[1:] != src_sorted[:-1]])
-    first_days = day_sorted[first_mask]
+    _, first_days = first_appearance_days(batch, days)
     per_day = np.bincount(first_days, minlength=days)
     return np.cumsum(per_day)
 
@@ -90,23 +99,22 @@ class ChurnFit:
     residual: float            # RMS error of the fit (sources)
 
 
-def fit_population(
-    batch: PacketBatch,
-    days: int,
+def fit_population_curve(
+    curve: np.ndarray,
     min_lifetime_days: float = 0.25,
     max_lifetime_days: float = 3650.0,
 ) -> ChurnFit:
-    """Fit ``(N, L)`` to a capture's cumulative distinct-source curve.
+    """Fit ``(N, L)`` to a cumulative distinct-source curve.
 
-    The cumulative curve under the renewal model is
+    The pure fit shared by :func:`fit_population` (batch) and the streaming
+    churn accumulator: the curve under the renewal model is
     ``C(t) = N * (1 + t / L)`` for ``t`` past the ramp-up; a grid search over
     ``L`` with the optimal ``N`` solved in closed form (least squares over
     the linear model) is robust and has no dependencies.
     """
-    curve = cumulative_distinct_sources(batch, days)
     if curve[-1] == 0:
         raise ValueError("no sources in the capture")
-    t = np.arange(1, days + 1, dtype=float)
+    t = np.arange(1, curve.size + 1, dtype=float)
 
     best: Optional[Tuple[float, float, float]] = None
     for lifetime in np.geomspace(min_lifetime_days, max_lifetime_days, 160):
@@ -124,6 +132,21 @@ def fit_population(
         observed_sources=observed,
         inflation_factor=observed / max(population, 1e-9),
         residual=residual,
+    )
+
+
+def fit_population(
+    batch: PacketBatch,
+    days: int,
+    min_lifetime_days: float = 0.25,
+    max_lifetime_days: float = 3650.0,
+) -> ChurnFit:
+    """Fit ``(N, L)`` to a capture's cumulative distinct-source curve."""
+    curve = cumulative_distinct_sources(batch, days)
+    return fit_population_curve(
+        curve,
+        min_lifetime_days=min_lifetime_days,
+        max_lifetime_days=max_lifetime_days,
     )
 
 

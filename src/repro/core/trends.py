@@ -40,6 +40,19 @@ def classic_port_share_trend(
     return {year: port_share(a, CLASSIC_PORTS) for year, a in analyses.items()}
 
 
+def entropy_from_counts(counts: np.ndarray) -> float:
+    """Shannon entropy (bits) of a tally vector.
+
+    The counts must be in a canonical (key-sorted) order — ``np.unique``
+    output, or a sorted-key sparse tally — so the float summation order is
+    identical between the batch and streaming paths.
+    """
+    if counts.size == 0:
+        return 0.0
+    probs = counts / counts.sum()
+    return float(-(probs * np.log2(probs)).sum())
+
+
 def port_distribution_entropy(analysis: PeriodAnalysis) -> float:
     """Shannon entropy (bits) of the per-port packet distribution.
 
@@ -50,8 +63,7 @@ def port_distribution_entropy(analysis: PeriodAnalysis) -> float:
     if len(batch) == 0:
         return 0.0
     _, counts = np.unique(batch.dst_port, return_counts=True)
-    probs = counts / counts.sum()
-    return float(-(probs * np.log2(probs)).sum())
+    return entropy_from_counts(counts)
 
 
 def country_distribution_entropy(analysis: PeriodAnalysis) -> float:
@@ -61,8 +73,7 @@ def country_distribution_entropy(analysis: PeriodAnalysis) -> float:
     if len(scans) == 0:
         return 0.0
     _, counts = np.unique(scans.country.astype(str), return_counts=True)
-    probs = counts / counts.sum()
-    return float(-(probs * np.log2(probs)).sum())
+    return entropy_from_counts(counts)
 
 
 def port_rank_stability(
@@ -98,6 +109,37 @@ class ConcentrationReport:
     share_for_80pct: float    # fraction of scans carrying 80% of packets
 
 
+def concentration_from_packets(per_scan_packets: np.ndarray) -> ConcentrationReport:
+    """Concentration report from a per-scan packet-count vector.
+
+    Pure finaliser shared by :func:`traffic_concentration` (batch) and the
+    streaming trends accumulator; the input need not be sorted.
+    """
+    if per_scan_packets.size == 0:
+        raise ValueError("no scans to analyse")
+    packets = np.sort(per_scan_packets.astype(float))[::-1]
+    total = packets.sum()
+    cumulative = np.cumsum(packets)
+
+    def top_share(fraction: float) -> float:
+        k = max(1, int(round(fraction * packets.size)))
+        return float(cumulative[k - 1] / total)
+
+    # Float round-off can leave ``0.8 * total`` above ``cumulative[-1]``
+    # (``total`` comes from pairwise summation, the cumsum is sequential),
+    # in which case ``searchsorted`` returns ``size`` and the share would
+    # exceed 1.0 — clamp to the last index: 100% of scans always suffice.
+    index = min(int(np.searchsorted(cumulative, 0.8 * total)),
+                packets.size - 1)
+    return ConcentrationReport(
+        scans=int(packets.size),
+        gini=gini_coefficient(packets),
+        top_1pct_share=top_share(0.01),
+        top_10pct_share=top_share(0.10),
+        share_for_80pct=(index + 1) / packets.size,
+    )
+
+
 def traffic_concentration(scans: ScanTable) -> ConcentrationReport:
     """Concentration of scan traffic (the Durumeric/Richter-Berger skew).
 
@@ -107,22 +149,7 @@ def traffic_concentration(scans: ScanTable) -> ConcentrationReport:
     """
     if len(scans) == 0:
         raise ValueError("no scans to analyse")
-    packets = np.sort(scans.packets.astype(float))[::-1]
-    total = packets.sum()
-    cumulative = np.cumsum(packets)
-
-    def top_share(fraction: float) -> float:
-        k = max(1, int(round(fraction * packets.size)))
-        return float(cumulative[k - 1] / total)
-
-    needed = int(np.searchsorted(cumulative, 0.8 * total) + 1)
-    return ConcentrationReport(
-        scans=int(packets.size),
-        gini=gini_coefficient(packets),
-        top_1pct_share=top_share(0.01),
-        top_10pct_share=top_share(0.10),
-        share_for_80pct=needed / packets.size,
-    )
+    return concentration_from_packets(scans.packets)
 
 
 @dataclass(frozen=True)
@@ -136,19 +163,33 @@ class IntensityReport:
     mean_duration_s: float
 
 
+def intensity_from_arrays(
+    packets: np.ndarray, duration: np.ndarray
+) -> IntensityReport:
+    """Intensity report from per-scan packet and duration vectors.
+
+    Pure finaliser shared by :func:`scan_intensity` (batch) and the
+    streaming trends accumulator.  The means are pairwise float sums, so
+    callers that need bit-identity must pass the vectors in the canonical
+    scan-table order (``lexsort((start, src_ip))``).
+    """
+    if packets.size == 0:
+        raise ValueError("no scans to analyse")
+    return IntensityReport(
+        scans=int(packets.size),
+        median_packets=float(np.median(packets)),
+        mean_packets=float(packets.mean()),
+        median_duration_s=float(np.median(duration)),
+        mean_duration_s=float(duration.mean()),
+    )
+
+
 def scan_intensity(scans: ScanTable) -> IntensityReport:
     """Per-scan packets and wall-clock duration (§5.3's 'scans used to get
     more intensive and take longer, but are increasingly spread out')."""
     if len(scans) == 0:
         raise ValueError("no scans to analyse")
-    duration = scans.duration
-    return IntensityReport(
-        scans=len(scans),
-        median_packets=float(np.median(scans.packets)),
-        mean_packets=float(scans.packets.mean()),
-        median_duration_s=float(np.median(duration)),
-        mean_duration_s=float(duration.mean()),
-    )
+    return intensity_from_arrays(scans.packets, scans.duration)
 
 
 @dataclass(frozen=True)

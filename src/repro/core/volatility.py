@@ -5,6 +5,14 @@ week-over-week change factors for three metrics: participating source IPs,
 scans launched, and packets sent.  The paper's headline: in more than half of
 the /16s, activity changes by a factor of 2 or more from one week to the
 next; only 20–30% of netblocks are stable.
+
+The per-(block, week) counting is factored into *sparse tallies* — packed
+``(block << 32) | week`` keys with ``int64`` multiplicities — plus a pure
+:func:`dense_weekly_counts` finaliser.  The batch path computes the tallies
+from whole arrays in one pass; the streaming path
+(:class:`repro.stream.analyses.IncrementalVolatility`) accumulates the same
+tallies window by window and merges them across shards.  Both funnel through
+the one finaliser, so the dense matrices are equal by construction.
 """
 
 from __future__ import annotations
@@ -25,6 +33,95 @@ _WEEK_S = 7 * 86_400.0
 #: Metrics tracked per netblock per week.
 METRICS = ("sources", "scans", "packets")
 
+#: A sparse per-(block, week) tally: packed keys plus multiplicities.
+SparseTally = Tuple[np.ndarray, np.ndarray]
+
+
+def week_index(times: np.ndarray, n_weeks: int) -> np.ndarray:
+    """Week index of each timestamp, clamped into ``[0, n_weeks)``."""
+    return np.minimum((times // _WEEK_S).astype(np.int64), n_weeks - 1)
+
+
+def pack_block_week(blocks: np.ndarray, weeks: np.ndarray) -> np.ndarray:
+    """Pack (/16 block, week) pairs into one sortable ``int64`` key.
+
+    The week occupies the low 32 bits — wide enough for any horizon (the
+    previous 8-bit packing silently collided past week 255, i.e. on any
+    trace longer than ~5 years).  A /16 block index is 16 bits, so the
+    mask bounds the shifted operand without changing any value.
+    """
+    return (
+        (blocks.astype(np.int64) & np.int64(0xFFFF)) << np.int64(32)
+    ) | weeks.astype(np.int64)
+
+
+def packet_weekly_tally(batch: PacketBatch, n_weeks: int) -> SparseTally:
+    """Sparse per-(block, week) packet counts of one batch (or window)."""
+    weeks = week_index(batch.time, n_weeks)
+    blocks = slash16_of(batch.src_ip).astype(np.int64)
+    return np.unique(pack_block_week(blocks, weeks), return_counts=True)
+
+
+def source_weekly_tally(batch: PacketBatch, n_weeks: int) -> SparseTally:
+    """Sparse per-(block, week) *distinct source* counts of one batch.
+
+    Dedupes ``(src, week)`` pairs with the source in the high 32 bits of a
+    ``uint64`` key, so the week index can never overflow into the address
+    bits (the regression the old ``src << 8`` packing had past week 255).
+    """
+    weeks = week_index(batch.time, n_weeks)
+    pairs = (batch.src_ip.astype(np.uint64) << np.uint64(32)) | weeks.astype(
+        np.uint64
+    )
+    distinct = np.unique(pairs)
+    src = (distinct >> np.uint64(32)).astype(np.uint32)
+    blocks = slash16_of(src).astype(np.int64)
+    wk = (distinct & np.uint64(0xFFFFFFFF)).astype(np.int64)
+    return np.unique(pack_block_week(blocks, wk), return_counts=True)
+
+
+def scan_weekly_tally(scans: ScanTable, n_weeks: int) -> SparseTally:
+    """Sparse per-(block, week) scan counts (by scan start time)."""
+    if len(scans) == 0:
+        empty = np.array([], dtype=np.int64)
+        return empty, empty.copy()
+    weeks = week_index(scans.start, n_weeks)
+    blocks = slash16_of(scans.src_ip).astype(np.int64)
+    return np.unique(pack_block_week(blocks, weeks), return_counts=True)
+
+
+def dense_weekly_counts(
+    blocks_all: np.ndarray,
+    n_weeks: int,
+    tallies: Mapping[str, SparseTally],
+) -> Dict[str, np.ndarray]:
+    """Scatter sparse per-(block, week) tallies into dense matrices.
+
+    ``blocks_all`` is the sorted distinct /16 index (packet-derived; tally
+    entries for blocks outside it — scans from blocks that sent no packets —
+    are dropped, matching the batch semantics).  Returns the
+    ``{metric: (n_blocks, n_weeks) int64}`` dict plus the block index under
+    ``'blocks'``.
+    """
+    n_blocks = int(blocks_all.size)
+    out: Dict[str, np.ndarray] = {
+        metric: np.zeros((n_blocks, n_weeks), dtype=np.int64)
+        for metric in METRICS
+    }
+    out["blocks"] = blocks_all.astype(np.int64)
+    if n_blocks == 0:
+        return out
+    for metric in METRICS:
+        keys, counts = tallies[metric]
+        if keys.size == 0:
+            continue
+        blocks = keys >> np.int64(32)
+        weeks = (keys & np.int64(0xFFFFFFFF)).astype(np.int64)
+        present = np.isin(blocks, blocks_all)
+        rows = np.searchsorted(blocks_all, blocks[present])
+        out[metric][rows, weeks[present]] += counts[present]
+    return out
+
 
 def weekly_slash16_counts(
     batch: PacketBatch, scans: ScanTable, n_weeks: int
@@ -37,39 +134,17 @@ def weekly_slash16_counts(
     """
     if n_weeks < 1:
         raise ValueError("n_weeks must be >= 1")
-    blocks_all = np.unique(slash16_of(batch.src_ip)) if len(batch) else np.array([], dtype=np.int64)
-    block_index = {int(b): i for i, b in enumerate(blocks_all)}
-    n_blocks = blocks_all.size
-
-    out = {
-        "sources": np.zeros((n_blocks, n_weeks), dtype=np.int64),
-        "scans": np.zeros((n_blocks, n_weeks), dtype=np.int64),
-        "packets": np.zeros((n_blocks, n_weeks), dtype=np.int64),
-        "blocks": blocks_all.astype(np.int64),
-    }
-    if n_blocks == 0:
-        return out
-
-    # Packets and sources from the raw batch.
-    weeks = np.minimum((batch.time // _WEEK_S).astype(np.int64), n_weeks - 1)
-    blocks = slash16_of(batch.src_ip).astype(np.int64)
-    rows = np.searchsorted(blocks_all, blocks)
-    np.add.at(out["packets"], (rows, weeks), 1)
-
-    # Distinct sources per (block, week): dedupe (src, week) pairs.
-    keys = (batch.src_ip.astype(np.uint64) << np.uint64(8)) | weeks.astype(np.uint64)
-    _, first_idx = np.unique(keys, return_index=True)
-    np.add.at(out["sources"], (rows[first_idx], weeks[first_idx]), 1)
-
-    # Scans from the scan table (by start time).
-    if len(scans):
-        scan_weeks = np.minimum((scans.start // _WEEK_S).astype(np.int64), n_weeks - 1)
-        scan_blocks = slash16_of(scans.src_ip).astype(np.int64)
-        present = np.isin(scan_blocks, blocks_all)
-        scan_rows = np.searchsorted(blocks_all, scan_blocks[present])
-        np.add.at(out["scans"], (scan_rows, scan_weeks[present]), 1)
-
-    return out
+    if len(batch) == 0:
+        return dense_weekly_counts(
+            np.array([], dtype=np.int64), n_weeks,
+            {m: (np.array([], dtype=np.int64),) * 2 for m in METRICS},
+        )
+    blocks_all = np.unique(slash16_of(batch.src_ip)).astype(np.int64)
+    return dense_weekly_counts(blocks_all, n_weeks, {
+        "packets": packet_weekly_tally(batch, n_weeks),
+        "sources": source_weekly_tally(batch, n_weeks),
+        "scans": scan_weekly_tally(scans, n_weeks),
+    })
 
 
 def weekly_change_factors(series: np.ndarray) -> np.ndarray:
@@ -104,10 +179,19 @@ class VolatilitySummary:
     cdf: Tuple[np.ndarray, np.ndarray]
 
 
-def volatility_summary(analysis: PeriodAnalysis) -> Dict[str, VolatilitySummary]:
-    """Per-metric weekly-change summaries over the period."""
-    n_weeks = max(2, int(np.ceil(analysis.days / 7.0)))
-    counts = weekly_slash16_counts(analysis.study_batch, analysis.study_scans, n_weeks)
+def weeks_in_period(days: float) -> int:
+    """Week count the volatility analysis uses for a period of ``days``."""
+    return max(2, int(np.ceil(days / 7.0)))
+
+
+def summaries_from_counts(
+    counts: Mapping[str, np.ndarray]
+) -> Dict[str, VolatilitySummary]:
+    """Per-metric weekly-change summaries from dense weekly counts.
+
+    The shared finaliser: both :func:`volatility_summary` (batch) and the
+    streaming accumulator produce their summaries through this function.
+    """
     out: Dict[str, VolatilitySummary] = {}
     for metric in METRICS:
         factors = weekly_change_factors(counts[metric])
@@ -125,3 +209,10 @@ def volatility_summary(analysis: PeriodAnalysis) -> Dict[str, VolatilitySummary]
             cdf=empirical_cdf(finite),
         )
     return out
+
+
+def volatility_summary(analysis: PeriodAnalysis) -> Dict[str, VolatilitySummary]:
+    """Per-metric weekly-change summaries over the period."""
+    n_weeks = weeks_in_period(analysis.days)
+    counts = weekly_slash16_counts(analysis.study_batch, analysis.study_scans, n_weeks)
+    return summaries_from_counts(counts)

@@ -1,6 +1,11 @@
 """Reporting layer: table renderers and figure-series extraction."""
 
-from repro.reporting.tables import TABLE1_TOOLS, render_table1, render_table2
+from repro.reporting.tables import (
+    TABLE1_TOOLS,
+    render_paper_report,
+    render_table1,
+    render_table2,
+)
 from repro.reporting.export import (
     export_cdf,
     export_csv,
@@ -26,6 +31,7 @@ from repro.reporting.figures import (
 
 __all__ = [
     "TABLE1_TOOLS",
+    "render_paper_report",
     "render_table1",
     "render_table2",
     "ClaimCheck",

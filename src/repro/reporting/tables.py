@@ -7,6 +7,8 @@ from typing import Dict, List, Mapping, Optional, Sequence
 from repro._util.fmt import format_count, format_percent, format_table
 from repro.core.classification import TypeShares
 from repro.core.ecosystem import YearSummary
+from repro.core.report import PaperReport
+from repro.core.volatility import METRICS
 from repro.scanners.base import Tool
 
 #: Row order of the Table 1 tool block.
@@ -61,6 +63,91 @@ def render_table1(
     if scale_note:
         table += f"\n\n{scale_note}"
     return table
+
+
+def render_paper_report(report: PaperReport) -> str:
+    """Render one period's :class:`~repro.core.report.PaperReport` as text.
+
+    Floats are rendered with ``repr`` (shortest round-trip form) rather than
+    rounded: the batch and streaming paths promise *exact* equality, so the
+    rendering is deliberately sensitive enough that any divergence — even in
+    the last bit of a mean — shows up in a plain ``diff`` of the two outputs.
+    """
+    lines: List[str] = [
+        f"paper report  year={report.year}  days={report.days}",
+        f"study packets: {report.packets}",
+        f"study scans: {report.scans}",
+        "",
+        "trends (§4.2):",
+        f"  classic port share (22/80/8080): {report.trends.classic_port_share!r}",
+        f"  port entropy (bits): {report.trends.port_entropy!r}",
+        f"  country entropy (bits): {report.trends.country_entropy!r}",
+    ]
+    conc = report.trends.concentration
+    if conc is not None:
+        lines += [
+            f"  concentration: gini={conc.gini!r} "
+            f"top1%={conc.top_1pct_share!r} top10%={conc.top_10pct_share!r} "
+            f"share_for_80pct={conc.share_for_80pct!r}",
+        ]
+    intensity = report.trends.intensity
+    if intensity is not None:
+        lines += [
+            f"  intensity: median_packets={intensity.median_packets!r} "
+            f"mean_packets={intensity.mean_packets!r} "
+            f"median_duration_s={intensity.median_duration_s!r} "
+            f"mean_duration_s={intensity.mean_duration_s!r}",
+        ]
+
+    lines += ["", "volatility (§4.4, week-over-week /16 activity):"]
+    headers = ["metric", "pairs", "stable", ">=2x", ">=3x"]
+    rows = [
+        [
+            metric,
+            str(summary.pairs),
+            repr(summary.fraction_stable),
+            repr(summary.fraction_at_least_2x),
+            repr(summary.fraction_at_least_3x),
+        ]
+        for metric, summary in (
+            (m, report.volatility[m]) for m in METRICS
+        )
+    ]
+    lines += ["  " + line for line in format_table(headers, rows).splitlines()]
+
+    rec = report.recurrence
+    lines += [
+        "",
+        "recurrence (§6.6):",
+        f"  sources: {rec.overall.sources}",
+        f"  fraction recurring: {rec.overall.fraction_recurring!r}",
+        f"  fraction >100 scans: {rec.overall.fraction_over_100_scans!r}",
+        f"  downtime within a day: "
+        f"{rec.overall.fraction_downtime_within_day!r}",
+        f"  daily-mode fraction: {rec.overall.daily_mode_fraction!r}",
+        f"  institutional daily scanners: {rec.institutional_daily}",
+    ]
+    for stype in sorted(rec.by_type, key=lambda t: t.value):
+        stats = rec.by_type[stype]
+        lines.append(
+            f"  {stype.value}: sources={stats.sources} "
+            f"recurring={stats.fraction_recurring!r} "
+            f"over_100={stats.fraction_over_100_scans!r}"
+        )
+
+    churn = report.churn
+    lines += [
+        "",
+        "churn (§4.2, distinct sources):",
+        f"  distinct sources: {int(churn.curve[-1]) if churn.curve.size else 0}",
+    ]
+    if churn.fit is not None:
+        lines += [
+            f"  fitted population: {churn.fit.population!r}",
+            f"  fitted lifetime (days): {churn.fit.lifetime_days!r}",
+            f"  inflation factor: {churn.fit.inflation_factor!r}",
+        ]
+    return "\n".join(lines)
 
 
 def render_table2(shares: Sequence[TypeShares]) -> str:

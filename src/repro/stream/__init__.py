@@ -8,9 +8,22 @@ incremental scan identifier stream-equivalent to batch ``identify_scans``
 (:mod:`~repro.stream.stats`), all orchestrated by
 :class:`~repro.stream.engine.StreamEngine` — or, source-sharded across
 worker processes with bit-identical output, by
-:class:`~repro.stream.sharded.ShardedStreamEngine`.
+:class:`~repro.stream.sharded.ShardedStreamEngine`.  On top of the scan
+identifier, :mod:`~repro.stream.analyses` runs the paper's longitudinal
+analyses incrementally, and :func:`~repro.stream.report.stream_report`
+produces the full batch-equal :class:`~repro.core.report.PaperReport` in
+one bounded-memory pass.
 """
 
+from repro.stream.analyses import (
+    ANALYSES_SCHEMA_VERSION,
+    AnalysisConfig,
+    AnalysisSuite,
+    IncrementalChurn,
+    IncrementalRecurrence,
+    IncrementalTrends,
+    IncrementalVolatility,
+)
 from repro.stream.checkpoint import (
     STREAM_SCHEMA_VERSION,
     CheckpointStore,
@@ -24,6 +37,7 @@ from repro.stream.engine import (
     identify_scans_stream,
 )
 from repro.stream.incremental import IncrementalScanIdentifier, StreamOrderError
+from repro.stream.report import StreamReportResult, stream_report
 from repro.stream.sharded import (
     ShardedStreamEngine,
     ShardedStreamResult,
@@ -43,6 +57,15 @@ from repro.stream.source import (
 from repro.stream.stats import StreamStats, format_bytes, peak_rss_bytes
 
 __all__ = [
+    "ANALYSES_SCHEMA_VERSION",
+    "AnalysisConfig",
+    "AnalysisSuite",
+    "IncrementalChurn",
+    "IncrementalRecurrence",
+    "IncrementalTrends",
+    "IncrementalVolatility",
+    "StreamReportResult",
+    "stream_report",
     "STREAM_SCHEMA_VERSION",
     "CheckpointStore",
     "CheckpointVersionError",

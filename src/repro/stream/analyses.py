@@ -1,0 +1,742 @@
+"""Incremental paper analyses: the batch report on the streaming substrate.
+
+The batch pipeline computes the paper's longitudinal results — §4.4
+volatility, §6.6 recurrence, §4.2 trends and churn — from fully
+materialised captures.  This module provides *mergeable accumulators* that
+compute the exact same numbers from time-ordered packet windows, following
+the :class:`~repro.stream.incremental.IncrementalScanIdentifier` pattern:
+``consume`` windows (and ``consume_scans`` finalised scan-table chunks),
+``merge`` accumulators from source-disjoint shards, ``snapshot`` /
+``restore`` through flat numpy arrays for durable checkpoints, and
+``finalize`` into the same report values the batch functions return.
+
+Why the results are field-by-field **equal** to the batch path at any
+window size and shard count:
+
+* Every tally (per-port packets, per-(/16, week) activity, per-day first
+  appearances) is an exact integer count kept in sorted-key order; merging
+  sorted tallies is associative and reproduces one global ``np.unique``.
+* Distinct-(source, week) dedupe is windowed: the stream is time-ordered,
+  so only the weeks at the watermark can still receive packets — older
+  weeks retire their source sets into the sparse tally and free the memory.
+* Float statistics go through the same pure finalisers as the batch path
+  (:func:`~repro.core.volatility.summaries_from_counts`,
+  :func:`~repro.core.trends.concentration_from_packets`,
+  :func:`~repro.core.recurrence.recurrence_stats_arrays`,
+  :func:`~repro.core.churn.fit_population_curve`), fed in the batch path's
+  canonical orders (sorted tally keys; ``lexsort((start, src_ip))`` scan
+  rows), so even order-dependent pairwise float sums agree bit for bit.
+
+Merging follows the shard contract of :mod:`repro.stream.sharded`: the two
+accumulators must have consumed *source-disjoint* packet streams (per-source
+facts — first appearance, distinct weeks — cannot be reconciled after the
+fact when a source is split across accumulators).
+
+Memory model: tallies grow with distinct (/16, week) and (port,) keys;
+scan-side buffers grow with the result set (scans, not packets); the only
+packet-rate structure — the open-week source sets — is bounded by the
+sources active within the watermark's week.  Nothing scales with capture
+length in packets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.campaigns import ScanTable
+from repro.core.churn import first_appearance_days, fit_population_curve
+from repro.core.pipeline import EXCLUDED_STUDY_PORTS
+from repro.core.recurrence import (
+    daily_cadence_sources,
+    recurrence_stats_arrays,
+    split_scan_times,
+)
+from repro.core.report import (
+    ChurnReport,
+    PaperReport,
+    RecurrenceReport,
+    TrendsReport,
+)
+from repro.core.trends import (
+    CLASSIC_PORTS,
+    concentration_from_packets,
+    entropy_from_counts,
+    intensity_from_arrays,
+)
+from repro.core.volatility import (
+    METRICS,
+    dense_weekly_counts,
+    pack_block_week,
+    packet_weekly_tally,
+    scan_weekly_tally,
+    summaries_from_counts,
+    week_index,
+    weeks_in_period,
+)
+from repro.enrichment.types import ScannerType
+from repro.stream.incremental import StreamOrderError
+from repro.telescope.addresses import slash16_of
+from repro.telescope.packet import PacketBatch
+
+#: Bumped when any accumulator's snapshot layout changes; part of the
+#: checkpoint key material, so old analysis checkpoints miss cleanly.
+ANALYSES_SCHEMA_VERSION = 1
+
+
+class _SparseTally:
+    """A sorted-key ``int64`` tally, mergeable by sorted reduction.
+
+    The same idiom as the per-session port tally of
+    :mod:`repro.stream.incremental`: keys stay sorted-distinct, adds
+    concatenate + stable-argsort + ``np.add.reduceat``.  Sorted keys are
+    load-bearing — entropy finalisers sum in ``np.unique`` key order.
+    """
+
+    __slots__ = ("keys", "counts")
+
+    def __init__(
+        self,
+        keys: Optional[np.ndarray] = None,
+        counts: Optional[np.ndarray] = None,
+    ):
+        self.keys = keys if keys is not None else np.array([], dtype=np.int64)
+        self.counts = (
+            counts if counts is not None else np.array([], dtype=np.int64)
+        )
+
+    def add(self, keys: np.ndarray, counts: np.ndarray) -> None:
+        """Fold a sorted-distinct ``(keys, counts)`` pair into the tally."""
+        if keys.size == 0:
+            return
+        if self.keys.size == 0:
+            self.keys = keys.astype(np.int64, copy=True)
+            self.counts = counts.astype(np.int64, copy=True)
+            return
+        allk = np.concatenate([self.keys, keys.astype(np.int64, copy=False)])
+        allc = np.concatenate(
+            [self.counts, counts.astype(np.int64, copy=False)]
+        )
+        order = np.argsort(allk, kind="stable")
+        allk, allc = allk[order], allc[order]
+        firsts = np.flatnonzero(
+            np.concatenate(([True], allk[1:] != allk[:-1]))
+        )
+        self.keys = allk[firsts]
+        self.counts = np.add.reduceat(allc, firsts)
+
+    def merge(self, other: "_SparseTally") -> None:
+        self.add(other.keys, other.counts)
+
+    def pair(self) -> Tuple[np.ndarray, np.ndarray]:
+        return self.keys, self.counts
+
+    def count_of(self, keys: np.ndarray) -> int:
+        """Total multiplicity of ``keys`` (absent keys count zero)."""
+        if self.keys.size == 0:
+            return 0
+        idx = np.minimum(
+            np.searchsorted(self.keys, keys), self.keys.size - 1
+        )
+        hit = self.keys[idx] == keys
+        return int(self.counts[idx][hit].sum())
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.keys.nbytes + self.counts.nbytes)
+
+
+def _cat(chunks: List[np.ndarray], dtype) -> np.ndarray:
+    """Concatenate a chunk list (typed empty array for the empty case)."""
+    if not chunks:
+        return np.array([], dtype=dtype)
+    if len(chunks) == 1:
+        return chunks[0].astype(dtype, copy=False)
+    return np.concatenate(chunks).astype(dtype, copy=False)
+
+
+class IncrementalVolatility:
+    """Streaming §4.4: per-/16, per-week activity tallies.
+
+    Packet and scan counts are exact sparse tallies.  The distinct-source
+    metric needs a per-week dedupe; the stream's time order bounds it —
+    once the watermark's week moves past week ``w``, no packet can land in
+    ``w`` again, so ``w``'s source set is *retired*: counted per /16 into
+    the sparse tally and dropped.  Only the weeks at the watermark hold
+    live source sets.
+    """
+
+    def __init__(self, n_weeks: int):
+        if n_weeks < 1:
+            raise ValueError("n_weeks must be >= 1")
+        self.n_weeks = n_weeks
+        self.tallies: Dict[str, _SparseTally] = {
+            metric: _SparseTally() for metric in METRICS
+        }
+        #: Sorted distinct /16 blocks of the consumed packets (the dense
+        #: matrices' row index, matching the batch path's block universe).
+        self.blocks = np.array([], dtype=np.int64)
+        #: week -> sorted distinct sources still able to gain members.
+        self._open_weeks: Dict[int, np.ndarray] = {}
+        self.watermark = float("-inf")
+
+    def consume(self, batch: PacketBatch) -> None:
+        """Ingest one time-ordered packet window (study view)."""
+        if len(batch) == 0:
+            return
+        t = batch.time
+        tmin = float(t.min())
+        if self.watermark != float("-inf") and tmin < self.watermark:
+            raise StreamOrderError(
+                f"window starts at t={tmin:.6f}, before the volatility "
+                f"watermark {self.watermark:.6f}; week retirement needs a "
+                f"time-ordered stream"
+            )
+        keys, counts = packet_weekly_tally(batch, self.n_weeks)
+        self.tallies["packets"].add(keys, counts)
+        self.blocks = np.union1d(
+            self.blocks, np.unique(slash16_of(batch.src_ip)).astype(np.int64)
+        )
+
+        weeks = week_index(t, self.n_weeks)
+        pairs = np.unique(
+            (batch.src_ip.astype(np.uint64) << np.uint64(32))
+            | weeks.astype(np.uint64)
+        )
+        pair_week = (pairs & np.uint64(0xFFFFFFFF)).astype(np.int64)
+        pair_src = (pairs >> np.uint64(32)).astype(np.uint32)
+        # Group the distinct (src, week) pairs by week; the stable sort
+        # keeps each group's sources ascending (pairs are src-major).
+        order = np.argsort(pair_week, kind="stable")
+        pair_week, pair_src = pair_week[order], pair_src[order]
+        firsts = np.flatnonzero(
+            np.concatenate(([True], pair_week[1:] != pair_week[:-1]))
+        )
+        bounds = np.append(firsts, pair_week.size)
+        for i in range(firsts.size):
+            week = int(pair_week[firsts[i]])
+            srcs = pair_src[firsts[i]:bounds[i + 1]]
+            current = self._open_weeks.get(week)
+            if current is None:
+                self._open_weeks[week] = srcs.copy()
+            else:
+                self._open_weeks[week] = np.union1d(current, srcs)
+
+        self.watermark = max(self.watermark, float(t.max()))
+        self._retire_closed_weeks()
+
+    def consume_scans(self, scans: ScanTable) -> None:
+        """Fold finalised scans (study view) into the scan tally."""
+        keys, counts = scan_weekly_tally(scans, self.n_weeks)
+        self.tallies["scans"].add(keys, counts)
+
+    def merge(self, other: "IncrementalVolatility") -> None:
+        """Fold a source-disjoint shard's state into this one."""
+        if other.n_weeks != self.n_weeks:
+            raise ValueError("cannot merge volatility over different horizons")
+        for metric in METRICS:
+            self.tallies[metric].merge(other.tallies[metric])
+        self.blocks = np.union1d(self.blocks, other.blocks)
+        for week, srcs in other._open_weeks.items():
+            current = self._open_weeks.get(week)
+            self._open_weeks[week] = (
+                srcs.copy() if current is None else np.union1d(current, srcs)
+            )
+        self.watermark = max(self.watermark, other.watermark)
+        self._retire_closed_weeks()
+
+    def finalize_counts(self) -> Dict[str, np.ndarray]:
+        """Retire every open week and scatter into dense weekly matrices."""
+        for week in sorted(self._open_weeks):
+            self._retire_week(week)
+        return dense_weekly_counts(self.blocks, self.n_weeks, {
+            metric: self.tallies[metric].pair() for metric in METRICS
+        })
+
+    def state_nbytes(self) -> int:
+        open_bytes = sum(srcs.nbytes for srcs in self._open_weeks.values())
+        return (
+            sum(t.nbytes for t in self.tallies.values())
+            + int(self.blocks.nbytes) + open_bytes
+        )
+
+    @property
+    def open_week_count(self) -> int:
+        """Live dedupe sets — the bounded-memory gauge of this accumulator."""
+        return len(self._open_weeks)
+
+    def _retire_closed_weeks(self) -> None:
+        if self.watermark == float("-inf"):
+            return
+        floor = int(week_index(
+            np.array([self.watermark]), self.n_weeks
+        )[0])
+        for week in [w for w in self._open_weeks if w < floor]:
+            self._retire_week(week)
+
+    def _retire_week(self, week: int) -> None:
+        srcs = self._open_weeks.pop(week)
+        blocks, counts = np.unique(
+            slash16_of(srcs).astype(np.int64), return_counts=True
+        )
+        self.tallies["sources"].add(
+            pack_block_week(blocks, np.full(blocks.size, week, dtype=np.int64)),
+            counts,
+        )
+
+
+class IncrementalTrends:
+    """Streaming §4.2 trends: port/country tallies plus scan-side buffers.
+
+    Packet-side state is a sorted port tally (exact counts, entropy-safe
+    order).  Scan-side columns are buffered as chunks and sorted into the
+    canonical scan-table order (``lexsort((start, src_ip))``) at finalise,
+    so the order-dependent float means match the batch path bit for bit;
+    this buffer grows with the *result set*, not the packet stream.
+    """
+
+    def __init__(self):
+        self.ports = _SparseTally()
+        self.total_packets = 0
+        self._src: List[np.ndarray] = []
+        self._start: List[np.ndarray] = []
+        self._end: List[np.ndarray] = []
+        self._packets: List[np.ndarray] = []
+        self._country: List[np.ndarray] = []
+
+    def consume(self, batch: PacketBatch) -> None:
+        """Ingest one packet window (study view)."""
+        if len(batch) == 0:
+            return
+        ports, counts = np.unique(
+            batch.dst_port.astype(np.int64), return_counts=True
+        )
+        self.ports.add(ports, counts)
+        self.total_packets += len(batch)
+
+    def consume_scans(self, scans: ScanTable) -> None:
+        """Buffer one chunk of finalised, enriched scans (study view)."""
+        if len(scans) == 0:
+            return
+        self._src.append(scans.src_ip.copy())
+        self._start.append(scans.start.copy())
+        self._end.append(scans.end.copy())
+        self._packets.append(scans.packets.copy())
+        self._country.append(scans.country.astype(str))
+
+    def merge(self, other: "IncrementalTrends") -> None:
+        self.ports.merge(other.ports)
+        self.total_packets += other.total_packets
+        self._src.extend(other._src)
+        self._start.extend(other._start)
+        self._end.extend(other._end)
+        self._packets.extend(other._packets)
+        self._country.extend(other._country)
+
+    def finalize(self) -> TrendsReport:
+        if self.total_packets:
+            classic = self.ports.count_of(
+                np.asarray(CLASSIC_PORTS, dtype=np.int64)
+            )
+            classic_share = float(classic / self.total_packets)
+            port_entropy = entropy_from_counts(self.ports.counts)
+        else:
+            classic_share = 0.0
+            port_entropy = 0.0
+
+        country = _cat(self._country, np.str_)
+        if country.size:
+            _, country_counts = np.unique(country, return_counts=True)
+            country_entropy = entropy_from_counts(country_counts)
+        else:
+            country_entropy = 0.0
+
+        src = _cat(self._src, np.uint32)
+        if src.size == 0:
+            return TrendsReport(
+                classic_port_share=classic_share,
+                port_entropy=port_entropy,
+                country_entropy=country_entropy,
+                concentration=None,
+                intensity=None,
+            )
+        start = _cat(self._start, np.float64)
+        order = np.lexsort((start, src))
+        start = start[order]
+        end = _cat(self._end, np.float64)[order]
+        packets = _cat(self._packets, np.int64)[order]
+        duration = np.maximum(end - start, 1.0)
+        return TrendsReport(
+            classic_port_share=classic_share,
+            port_entropy=port_entropy,
+            country_entropy=country_entropy,
+            concentration=concentration_from_packets(packets),
+            intensity=intensity_from_arrays(packets, duration),
+        )
+
+    def state_nbytes(self) -> int:
+        chunk_bytes = sum(
+            chunk.nbytes
+            for store in (
+                self._src, self._start, self._end, self._packets,
+                self._country,
+            )
+            for chunk in store
+        )
+        return self.ports.nbytes + chunk_bytes
+
+
+class IncrementalChurn:
+    """Streaming §4.2 churn: first-appearance day per distinct source.
+
+    The stream is time-ordered, so a source's first window is its first
+    appearance; day indices are monotone in time, making the per-window
+    :func:`~repro.core.churn.first_appearance_days` minima globally
+    correct.  State is the sorted seen-source array plus ``days`` counters.
+    """
+
+    def __init__(self, days: int):
+        if days < 1:
+            raise ValueError("days must be >= 1")
+        self.days = days
+        self.seen = np.array([], dtype=np.uint32)
+        self.per_day = np.zeros(days, dtype=np.int64)
+        self.watermark = float("-inf")
+
+    def consume(self, batch: PacketBatch) -> None:
+        """Ingest one time-ordered packet window (study view)."""
+        if len(batch) == 0:
+            return
+        tmin = float(batch.time.min())
+        if self.watermark != float("-inf") and tmin < self.watermark:
+            raise StreamOrderError(
+                f"window starts at t={tmin:.6f}, before the churn watermark "
+                f"{self.watermark:.6f}; first-appearance days need a "
+                f"time-ordered stream"
+            )
+        self.watermark = max(self.watermark, float(batch.time.max()))
+        srcs, first_days = first_appearance_days(batch, self.days)
+        if self.seen.size:
+            idx = np.minimum(
+                np.searchsorted(self.seen, srcs), self.seen.size - 1
+            )
+            new = self.seen[idx] != srcs
+        else:
+            new = np.ones(srcs.size, dtype=bool)
+        if np.any(new):
+            self.per_day += np.bincount(
+                first_days[new], minlength=self.days
+            ).astype(np.int64, copy=False)
+            self.seen = np.union1d(self.seen, srcs[new])
+
+    def merge(self, other: "IncrementalChurn") -> None:
+        """Fold a source-disjoint shard's state into this one."""
+        if other.days != self.days:
+            raise ValueError("cannot merge churn over different horizons")
+        self.per_day += other.per_day
+        self.seen = np.union1d(self.seen, other.seen)
+        self.watermark = max(self.watermark, other.watermark)
+
+    def finalize(self) -> ChurnReport:
+        curve = np.cumsum(self.per_day)
+        fit = fit_population_curve(curve) if curve[-1] > 0 else None
+        return ChurnReport(curve=curve, fit=fit)
+
+    def state_nbytes(self) -> int:
+        return int(self.seen.nbytes + self.per_day.nbytes)
+
+
+class IncrementalRecurrence:
+    """Streaming §6.6 recurrence: per-source scan-time digests.
+
+    Buffers ``(src, start, scanner_type)`` per scan-table chunk; finalise
+    runs the shared :func:`~repro.core.recurrence.split_scan_times` /
+    :func:`~repro.core.recurrence.recurrence_stats_arrays` pipeline, whose
+    lexsort makes the result independent of chunk arrival order.
+    """
+
+    def __init__(self):
+        self._src: List[np.ndarray] = []
+        self._start: List[np.ndarray] = []
+        self._types: List[np.ndarray] = []
+
+    def consume_scans(self, scans: ScanTable) -> None:
+        """Buffer one chunk of finalised, enriched scans (study view)."""
+        if len(scans) == 0:
+            return
+        self._src.append(scans.src_ip.copy())
+        self._start.append(scans.start.copy())
+        self._types.append(np.array(
+            [str(t) if t is not None else "" for t in scans.scanner_type]
+        ))
+
+    def merge(self, other: "IncrementalRecurrence") -> None:
+        self._src.extend(other._src)
+        self._start.extend(other._start)
+        self._types.extend(other._types)
+
+    def finalize(self) -> RecurrenceReport:
+        src = _cat(self._src, np.uint32)
+        start = _cat(self._start, np.float64)
+        types = _cat(self._types, np.str_)
+        overall = recurrence_stats_arrays(*split_scan_times(src, start))
+        by_type: Dict[ScannerType, Any] = {}
+        for stype in ScannerType:
+            mask = types == stype.value
+            if np.any(mask):
+                by_type[stype] = recurrence_stats_arrays(
+                    *split_scan_times(src[mask], start[mask])
+                )
+        inst = types == ScannerType.INSTITUTIONAL.value
+        daily = daily_cadence_sources(
+            *split_scan_times(src[inst], start[inst])
+        )
+        return RecurrenceReport(
+            overall=overall, by_type=by_type, institutional_daily=daily
+        )
+
+    def state_nbytes(self) -> int:
+        return sum(
+            chunk.nbytes
+            for store in (self._src, self._start, self._types)
+            for chunk in store
+        )
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """What one analysis suite computes over: the period and study filter."""
+
+    year: int
+    days: int
+    exclude_ports: Tuple[int, ...] = tuple(sorted(EXCLUDED_STUDY_PORTS))
+
+    def __post_init__(self) -> None:
+        if self.days < 1:
+            raise ValueError("days must be >= 1")
+
+    @property
+    def n_weeks(self) -> int:
+        return weeks_in_period(self.days)
+
+    def key_material(self) -> Dict[str, Any]:
+        """Checkpoint-key contribution: a run with analyses attached can
+        never restore a checkpoint written without them (or with different
+        analysis settings) — the suite would silently miss windows."""
+        return {
+            "analyses_schema": ANALYSES_SCHEMA_VERSION,
+            "year": self.year,
+            "days": self.days,
+            "exclude_ports": list(self.exclude_ports),
+        }
+
+
+class AnalysisSuite:
+    """All incremental analyses of one period behind a single surface.
+
+    The suite applies the §3.2 study filter itself (packets to, and scans
+    whose primary port is, an excluded port are dropped), so feeding it the
+    raw stream plus the raw finalised scan table reproduces the batch
+    path's ``study_batch`` / ``study_scans`` views exactly.
+    """
+
+    def __init__(self, config: AnalysisConfig):
+        self.config = config
+        self.volatility = IncrementalVolatility(config.n_weeks)
+        self.trends = IncrementalTrends()
+        self.churn = IncrementalChurn(config.days)
+        self.recurrence = IncrementalRecurrence()
+        self.packets_consumed = 0       # raw packets, pre study filter
+        self.study_packets = 0
+        self.study_scans = 0
+        self.windows_consumed = 0
+        self.watermark = float("-inf")
+        self._excluded = np.array(
+            sorted(config.exclude_ports), dtype=np.uint16
+        )
+
+    # -- streaming ----------------------------------------------------------
+
+    def consume(self, batch: PacketBatch) -> None:
+        """Ingest one raw, time-ordered packet window."""
+        self.windows_consumed += 1
+        n = len(batch)
+        if n == 0:
+            return
+        tmin = float(batch.time.min())
+        if self.packets_consumed and tmin < self.watermark:
+            raise StreamOrderError(
+                f"window starts at t={tmin:.6f}, before the stream watermark "
+                f"{self.watermark:.6f}; the incremental analyses need a "
+                f"time-ordered stream"
+            )
+        self.watermark = max(self.watermark, float(batch.time.max()))
+        self.packets_consumed += n
+        if self._excluded.size:
+            batch = batch.where(
+                ~np.isin(batch.dst_port, self._excluded)
+            )
+        if len(batch) == 0:
+            return
+        self.study_packets += len(batch)
+        self.volatility.consume(batch)
+        self.trends.consume(batch)
+        self.churn.consume(batch)
+
+    def consume_scans(self, scans: ScanTable) -> None:
+        """Fold finalised, *enriched* scans in (each scan exactly once)."""
+        if len(scans) == 0:
+            return
+        if self._excluded.size:
+            scans = scans.select(
+                ~np.isin(scans.primary_port, self._excluded)
+            )
+        if len(scans) == 0:
+            return
+        self.study_scans += len(scans)
+        self.volatility.consume_scans(scans)
+        self.trends.consume_scans(scans)
+        self.recurrence.consume_scans(scans)
+
+    def merge(self, other: "AnalysisSuite") -> None:
+        """Fold a source-disjoint shard's suite into this one."""
+        if other.config != self.config:
+            raise ValueError("cannot merge suites with different configs")
+        self.volatility.merge(other.volatility)
+        self.trends.merge(other.trends)
+        self.churn.merge(other.churn)
+        self.recurrence.merge(other.recurrence)
+        self.packets_consumed += other.packets_consumed
+        self.study_packets += other.study_packets
+        self.study_scans += other.study_scans
+        self.windows_consumed = max(
+            self.windows_consumed, other.windows_consumed
+        )
+        self.watermark = max(self.watermark, other.watermark)
+
+    def finalize(self) -> PaperReport:
+        """Build the :class:`~repro.core.report.PaperReport`."""
+        counts = self.volatility.finalize_counts()
+        return PaperReport(
+            year=self.config.year,
+            days=self.config.days,
+            packets=self.study_packets,
+            scans=self.study_scans,
+            trends=self.trends.finalize(),
+            volatility=summaries_from_counts(counts),
+            recurrence=self.recurrence.finalize(),
+            churn=self.churn.finalize(),
+        )
+
+    # -- gauges / keys ------------------------------------------------------
+
+    def state_nbytes(self) -> int:
+        """Bytes held by accumulator state (the bounded-memory gauge)."""
+        return (
+            self.volatility.state_nbytes() + self.trends.state_nbytes()
+            + self.churn.state_nbytes() + self.recurrence.state_nbytes()
+        )
+
+    def key_material(self) -> Dict[str, Any]:
+        return self.config.key_material()
+
+    # -- checkpoint state -----------------------------------------------------
+
+    def snapshot(self) -> Dict[str, np.ndarray]:
+        """Serialise the suite into flat arrays (``np.savez``-safe)."""
+        vol = self.volatility
+        open_weeks = sorted(vol._open_weeks)
+        out: Dict[str, np.ndarray] = {
+            "counters": np.array(
+                [self.packets_consumed, self.study_packets,
+                 self.study_scans, self.windows_consumed],
+                dtype=np.int64,
+            ),
+            "watermarks": np.array(
+                [self.watermark, vol.watermark, self.churn.watermark],
+                dtype=np.float64,
+            ),
+            "vol_blocks": vol.blocks,
+            "vol_week_ids": np.array(open_weeks, dtype=np.int64),
+            "vol_week_offsets": np.concatenate(([0], np.cumsum(
+                [vol._open_weeks[w].size for w in open_weeks]
+            ))).astype(np.int64),
+            "vol_week_srcs": _cat(
+                [vol._open_weeks[w] for w in open_weeks], np.uint32
+            ),
+            "tr_port_keys": self.trends.ports.keys,
+            "tr_port_counts": self.trends.ports.counts,
+            "tr_total_packets": np.array(
+                [self.trends.total_packets], dtype=np.int64
+            ),
+            "tr_src": _cat(self.trends._src, np.uint32),
+            "tr_start": _cat(self.trends._start, np.float64),
+            "tr_end": _cat(self.trends._end, np.float64),
+            "tr_packets": _cat(self.trends._packets, np.int64),
+            "tr_country": _cat(self.trends._country, np.str_),
+            "ch_seen": self.churn.seen,
+            "ch_per_day": self.churn.per_day,
+            "rec_src": _cat(self.recurrence._src, np.uint32),
+            "rec_start": _cat(self.recurrence._start, np.float64),
+            "rec_types": _cat(self.recurrence._types, np.str_),
+        }
+        for metric in METRICS:
+            keys, cnts = vol.tallies[metric].pair()
+            out[f"vol_{metric}_keys"] = keys
+            out[f"vol_{metric}_counts"] = cnts
+        return out
+
+    def restore(self, arrays: Dict[str, np.ndarray]) -> None:
+        """Rebuild suite state from a :meth:`snapshot` payload."""
+        counters = arrays["counters"]
+        self.packets_consumed = int(counters[0])
+        self.study_packets = int(counters[1])
+        self.study_scans = int(counters[2])
+        self.windows_consumed = int(counters[3])
+        watermarks = arrays["watermarks"]
+        self.watermark = float(watermarks[0])
+
+        vol = IncrementalVolatility(self.config.n_weeks)
+        vol.watermark = float(watermarks[1])
+        vol.blocks = arrays["vol_blocks"].copy()
+        for metric in METRICS:
+            vol.tallies[metric] = _SparseTally(
+                arrays[f"vol_{metric}_keys"].copy(),
+                arrays[f"vol_{metric}_counts"].copy(),
+            )
+        week_ids = arrays["vol_week_ids"]
+        offsets = arrays["vol_week_offsets"]
+        srcs = arrays["vol_week_srcs"]
+        for i in range(week_ids.size):
+            vol._open_weeks[int(week_ids[i])] = srcs[
+                int(offsets[i]):int(offsets[i + 1])
+            ].copy()
+        self.volatility = vol
+
+        trends = IncrementalTrends()
+        trends.ports = _SparseTally(
+            arrays["tr_port_keys"].copy(), arrays["tr_port_counts"].copy()
+        )
+        trends.total_packets = int(arrays["tr_total_packets"][0])
+        if arrays["tr_src"].size:
+            trends._src = [arrays["tr_src"].copy()]
+            trends._start = [arrays["tr_start"].copy()]
+            trends._end = [arrays["tr_end"].copy()]
+            trends._packets = [arrays["tr_packets"].copy()]
+            trends._country = [arrays["tr_country"].copy()]
+        self.trends = trends
+
+        churn = IncrementalChurn(self.config.days)
+        churn.watermark = float(watermarks[2])
+        churn.seen = arrays["ch_seen"].copy()
+        churn.per_day = arrays["ch_per_day"].astype(np.int64, copy=True)
+        self.churn = churn
+
+        recurrence = IncrementalRecurrence()
+        if arrays["rec_src"].size:
+            recurrence._src = [arrays["rec_src"].copy()]
+            recurrence._start = [arrays["rec_start"].copy()]
+            recurrence._types = [arrays["rec_types"].copy()]
+        self.recurrence = recurrence

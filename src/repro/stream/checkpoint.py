@@ -62,6 +62,7 @@ class CheckpointStore:
         batch_size: Optional[int],
         window_s: Optional[float],
         shard: Optional[Tuple[int, int]] = None,
+        analyses: Optional[Dict[str, Any]] = None,
     ) -> str:
         """Content key of one (capture, configuration) streaming run.
 
@@ -71,7 +72,12 @@ class CheckpointStore:
         a sharded run (see :mod:`repro.stream.sharded`); it joins the key
         material only when given, so unsharded keys are unchanged and a
         shard can never resume from another shard's (or the serial run's)
-        state.
+        state.  ``analyses`` (the
+        :meth:`~repro.stream.analyses.AnalysisConfig.key_material` dict of a
+        run with incremental analyses attached) joins the same way: a run
+        carrying analysis accumulators can never restore a checkpoint
+        written without them — the suite would silently miss every window
+        the identifier skips.
         """
         material = {
             "schema": STREAM_SCHEMA_VERSION,
@@ -89,6 +95,8 @@ class CheckpointStore:
         }
         if shard is not None:
             material["shard"] = {"index": shard[0], "of": shard[1]}
+        if analyses is not None:
+            material["analyses"] = _canonical(analyses)
         blob = json.dumps(material, sort_keys=True).encode("utf-8")
         return hashlib.blake2b(blob, digest_size=16).hexdigest()
 

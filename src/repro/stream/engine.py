@@ -23,6 +23,7 @@ from typing import Callable, Iterable, Optional, Union
 
 from repro.core.campaigns import CampaignCriteria, ScanTable
 from repro.core.fingerprints import ToolFingerprinter
+from repro.stream.analyses import AnalysisSuite
 from repro.stream.checkpoint import CheckpointStore
 from repro.stream.incremental import IncrementalScanIdentifier
 from repro.stream.source import (
@@ -36,6 +37,18 @@ from repro.stream.stats import StreamStats, peak_rss_bytes, wall_clock
 from repro.telescope.packet import PacketBatch
 
 ProgressCallback = Callable[[StreamStats], None]
+
+#: Array-name prefix separating analysis-suite state from identifier state
+#: inside one shared checkpoint payload.
+ANALYSIS_PREFIX = "an__"
+
+
+def _split_analysis_arrays(arrays: dict) -> dict:
+    """Pop the ``an__``-prefixed arrays out of a checkpoint payload."""
+    names = [name for name in arrays if name.startswith(ANALYSIS_PREFIX)]
+    return {
+        name[len(ANALYSIS_PREFIX):]: arrays.pop(name) for name in names
+    }
 
 
 @dataclass
@@ -74,6 +87,9 @@ class StreamResult:
     checkpoint_key: Optional[str] = None
     checkpoint_path: Optional[Path] = None
     truncated_source: bool = field(default=False)
+    #: The incremental analysis suite (when one rode along); it has
+    #: consumed every window and awaits ``consume_scans`` + ``finalize``.
+    analyses: Optional[AnalysisSuite] = None
 
 
 class StreamEngine:
@@ -95,11 +111,16 @@ class StreamEngine:
         self,
         source: StreamSource,
         progress: Optional[ProgressCallback] = None,
+        analyses: Optional[AnalysisSuite] = None,
     ) -> StreamResult:
         """Stream ``source`` to completion and return the scan table.
 
         ``progress`` (when given) is invoked with the refreshed
-        :class:`StreamStats` after every committed window.
+        :class:`StreamStats` after every committed window.  ``analyses``
+        (when given) consumes every window alongside the identifier, rides
+        in the same checkpoints (under an ``an__`` array prefix, with its
+        config joined into the key), and is handed back on the result for
+        the caller to feed scans into and finalise.
         """
         config = self.config
         identifier = IncrementalScanIdentifier(self.criteria, self.fingerprinter)
@@ -114,24 +135,33 @@ class StreamEngine:
                 key = store.key_for(
                     identity, self.criteria, self.fingerprinter,
                     config.batch_size, config.window_s,
+                    analyses=(
+                        analyses.key_material() if analyses is not None
+                        else None
+                    ),
                 )
                 arrays = store.load(key)
                 if arrays is not None:
+                    suite_arrays = _split_analysis_arrays(arrays)
                     identifier.restore(arrays)
+                    if analyses is not None and suite_arrays:
+                        analyses.restore(suite_arrays)
                     resumed = identifier.packets_consumed > 0
 
         stats = StreamStats(resumed_packets=identifier.packets_consumed)
         started = wall_clock()
-        self._refresh(stats, identifier, started)
+        self._refresh(stats, identifier, started, analyses)
 
         windows_since_save = 0
         for window in source.windows(skip_packets=identifier.packets_consumed):
             identifier.consume(window)
+            if analyses is not None:
+                analyses.consume(window)
             windows_since_save += 1
             if store is not None and windows_since_save >= config.checkpoint_every:
-                store.save(key, identifier.snapshot())
+                store.save(key, self._snapshot(identifier, analyses))
                 windows_since_save = 0
-            self._refresh(stats, identifier, started)
+            self._refresh(stats, identifier, started, analyses)
             if progress is not None:
                 progress(stats)
 
@@ -140,9 +170,9 @@ class StreamEngine:
             # Final snapshot before finalisation mutates the open sessions:
             # a re-run resumes past every packet and replays finalisation
             # from this state.
-            checkpoint_path = store.save(key, identifier.snapshot())
+            checkpoint_path = store.save(key, self._snapshot(identifier, analyses))
         scans = identifier.finalize()
-        self._refresh(stats, identifier, started)
+        self._refresh(stats, identifier, started, analyses)
         stats.scans = len(scans)
         return StreamResult(
             scans=scans,
@@ -151,11 +181,26 @@ class StreamEngine:
             checkpoint_key=key,
             checkpoint_path=checkpoint_path,
             truncated_source=getattr(source, "truncated", False),
+            analyses=analyses,
         )
 
     @staticmethod
+    def _snapshot(
+        identifier: IncrementalScanIdentifier,
+        analyses: Optional[AnalysisSuite],
+    ) -> dict:
+        payload = identifier.snapshot()
+        if analyses is not None:
+            for name, array in analyses.snapshot().items():
+                payload[ANALYSIS_PREFIX + name] = array
+        return payload
+
+    @staticmethod
     def _refresh(
-        stats: StreamStats, identifier: IncrementalScanIdentifier, started: float
+        stats: StreamStats,
+        identifier: IncrementalScanIdentifier,
+        started: float,
+        analyses: Optional[AnalysisSuite] = None,
     ) -> None:
         stats.packets = identifier.packets_consumed
         stats.windows = identifier.windows_consumed
@@ -166,6 +211,8 @@ class StreamEngine:
         stats.sessions_discarded = identifier.sessions_discarded
         stats.buffered_bytes = identifier.buffered_bytes
         stats.peak_open_session_bytes = identifier.peak_buffered_bytes
+        if analyses is not None:
+            stats.analysis_state_bytes = analyses.state_nbytes()
         stats.wall_s = wall_clock() - started
         stats.peak_rss_bytes = peak_rss_bytes()
 

@@ -1,0 +1,141 @@
+"""One-pass paper reports over packet streams.
+
+:func:`stream_report` is the streaming counterpart of
+:func:`repro.core.report.paper_report`: it walks a capture once — through
+the serial :class:`~repro.stream.engine.StreamEngine` or the
+:class:`~repro.stream.sharded.ShardedStreamEngine` — with an
+:class:`~repro.stream.analyses.AnalysisSuite` riding alongside the scan
+identifier, then enriches the identified scans and finalises the suite into
+a :class:`~repro.core.report.PaperReport`.
+
+The report is field-by-field equal to the batch path's at any window size,
+shard count, or worker count: the scan table is bit-identical by the
+engine's own guarantee, and the analysis accumulators reproduce the batch
+finalisers exactly (see :mod:`repro.stream.analyses`).  Memory stays
+bounded throughout — the suite holds tallies and the finalised scan
+columns, never the packet stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, List, Optional, Union
+
+from repro.core.campaigns import CampaignCriteria, ScanTable
+from repro.core.fingerprints import ToolFingerprinter
+from repro.core.report import PaperReport
+from repro.enrichment import ScannerClassifier, build_default_registry
+from repro.stream.analyses import AnalysisConfig, AnalysisSuite
+from repro.stream.engine import (
+    DEFAULT_BATCH_SIZE,
+    StreamConfig,
+    StreamEngine,
+    as_stream_source,
+)
+from repro.stream.sharded import ShardedStreamEngine
+from repro.stream.source import StreamSource
+from repro.stream.stats import StreamStats
+from repro.telescope.packet import PacketBatch
+
+PathLike = Union[str, Path]
+
+
+@dataclass
+class StreamReportResult:
+    """Everything one streaming report pass produced."""
+
+    report: PaperReport
+    scans: ScanTable            # identified + fingerprinted + enriched
+    stats: StreamStats
+    resumed: bool = False
+
+
+def _period_of(
+    source: StreamSource, year: Optional[int], days: Optional[int]
+) -> AnalysisConfig:
+    """Resolve the period from explicit arguments or the source's metadata."""
+    meta = getattr(source, "meta", None) or {}
+    if year is None:
+        year = meta.get("year")
+    if days is None:
+        days = meta.get("days")
+    if year is None or days is None:
+        missing = [
+            name for name, value in (("year", year), ("days", days))
+            if value is None
+        ]
+        raise ValueError(
+            f"cannot size the analysis period: {' and '.join(missing)} "
+            f"neither passed explicitly nor present in the capture metadata"
+        )
+    return AnalysisConfig(year=int(year), days=int(days))
+
+
+def stream_report(
+    capture: Union[StreamSource, PacketBatch, PathLike, Iterable[PacketBatch]],
+    year: Optional[int] = None,
+    days: Optional[int] = None,
+    n_shards: int = 1,
+    workers: int = 0,
+    criteria: Optional[CampaignCriteria] = None,
+    fingerprinter: Optional[ToolFingerprinter] = None,
+    batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
+    window_s: Optional[float] = None,
+    checkpoint_dir: Optional[PathLike] = None,
+    checkpoint_every: int = 8,
+    strict: bool = True,
+    mmap: Optional[bool] = None,
+    classifier: Optional[ScannerClassifier] = None,
+    progress: Optional[Callable[..., None]] = None,
+) -> StreamReportResult:
+    """Compute the full paper report from ``capture`` in one bounded pass.
+
+    ``year``/``days`` default to the capture's own metadata (``.rtrace``
+    files written by the simulator carry both).  ``classifier`` defaults to
+    the registry-backed default; pass the simulation's own classifier to
+    reproduce a specific :class:`~repro.core.pipeline.PeriodAnalysis`.
+    ``progress`` follows the underlying engine's callback signature:
+    ``progress(stats)`` serially, ``progress(shard, stats)`` sharded.
+    """
+    source = as_stream_source(
+        capture, batch_size, window_s, strict=strict, mmap=mmap
+    )
+    analysis_config = _period_of(source, year, days)
+    stream_config = StreamConfig(
+        batch_size=batch_size,
+        window_s=window_s,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=checkpoint_every,
+        strict=strict,
+    )
+
+    if n_shards == 1:
+        engine = StreamEngine(criteria, fingerprinter, stream_config)
+        result = engine.run(
+            source, progress=progress,
+            analyses=AnalysisSuite(analysis_config),
+        )
+        suite = result.analyses
+    else:
+        sharded = ShardedStreamEngine(
+            n_shards=n_shards,
+            workers=workers,
+            criteria=criteria,
+            fingerprinter=fingerprinter,
+            config=stream_config,
+            analyses=analysis_config,
+        )
+        result = sharded.run(source, progress=progress)
+        suite = result.analyses
+
+    if classifier is None:
+        classifier = ScannerClassifier(build_default_registry())
+    scans = result.scans.enrich(classifier)
+    suite.consume_scans(scans)
+    return StreamReportResult(
+        report=suite.finalize(),
+        scans=scans,
+        stats=result.stats,
+        resumed=result.resumed,
+    )

@@ -35,14 +35,20 @@ from __future__ import annotations
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.core.campaigns import CampaignCriteria, ScanTable
 from repro.core.fingerprints import ToolFingerprinter
+from repro.stream.analyses import AnalysisConfig, AnalysisSuite
 from repro.stream.checkpoint import CheckpointStore
-from repro.stream.engine import StreamConfig, as_stream_source
+from repro.stream.engine import (
+    ANALYSIS_PREFIX,
+    StreamConfig,
+    _split_analysis_arrays,
+    as_stream_source,
+)
 from repro.stream.incremental import IncrementalScanIdentifier
 from repro.stream.source import (
     DEFAULT_BATCH_SIZE,
@@ -84,6 +90,10 @@ class ShardRun:
     stats: StreamStats
     resumed: bool = False
     checkpoint_key: Optional[str] = None
+    #: Snapshot of the shard's analysis suite (plain arrays, so pool
+    #: workers hand it back without pickling live accumulator objects);
+    #: ``None`` when the run carried no analyses.
+    analysis: Optional[Dict[str, np.ndarray]] = None
 
 
 @dataclass
@@ -96,6 +106,9 @@ class ShardedStreamResult:
     shards: List[ShardRun] = field(default_factory=list)
     #: True when any shard restored a prior checkpoint.
     resumed: bool = False
+    #: The merged analysis suite (when the run carried analyses); it has
+    #: consumed every window and awaits ``consume_scans`` + ``finalize``.
+    analyses: Optional[AnalysisSuite] = None
 
 
 def merge_scan_tables(tables: List[ScanTable]) -> ScanTable:
@@ -147,15 +160,21 @@ def _run_one_shard(
     fingerprinter: ToolFingerprinter,
     config: StreamConfig,
     progress: Optional[Callable[[int, StreamStats], None]] = None,
+    analyses: Optional[AnalysisConfig] = None,
 ) -> ShardRun:
     """Stream one shard of ``source`` to completion.
 
     Runs in the calling process — the serial fallback and the body of the
     pool task both come here.  Pure in its arguments (RPR007): all state is
     constructed locally, and the only writes are the shard's own
-    content-addressed checkpoint files.
+    content-addressed checkpoint files.  ``analyses`` (when given) attaches
+    a fresh :class:`~repro.stream.analyses.AnalysisSuite` that sees exactly
+    the shard's packets; its snapshot rides back on the :class:`ShardRun`
+    for the caller to merge (sources are disjoint across shards, which is
+    precisely the suite's merge contract).
     """
     identifier = IncrementalScanIdentifier(criteria, fingerprinter)
+    suite = AnalysisSuite(analyses) if analyses is not None else None
 
     store: Optional[CheckpointStore] = None
     key: Optional[str] = None
@@ -169,11 +188,17 @@ def _run_one_shard(
                 identity, criteria, fingerprinter,
                 config.batch_size, config.window_s,
                 shard=(shard, n_shards),
+                analyses=(
+                    analyses.key_material() if analyses is not None else None
+                ),
             )
             arrays = store.load(key)
             if arrays is not None:
                 raw_pos = int(arrays.pop("shard_stream_pos")[0])
+                suite_arrays = _split_analysis_arrays(arrays)
                 identifier.restore(arrays)
+                if suite is not None and suite_arrays:
+                    suite.restore(suite_arrays)
                 resumed = identifier.packets_consumed > 0 or raw_pos > 0
 
     stats = StreamStats(resumed_packets=identifier.packets_consumed)
@@ -189,6 +214,8 @@ def _run_one_shard(
         stats.sessions_discarded = identifier.sessions_discarded
         stats.buffered_bytes = identifier.buffered_bytes
         stats.peak_open_session_bytes = identifier.peak_buffered_bytes
+        if suite is not None:
+            stats.analysis_state_bytes = suite.state_nbytes()
         stats.wall_s = wall_clock() - started
         stats.peak_rss_bytes = peak_rss_bytes()
 
@@ -199,6 +226,9 @@ def _run_one_shard(
         # identifier only counts the shard's packets, but a resume must
         # seek the shared, unfiltered source.
         payload["shard_stream_pos"] = np.array([raw_pos], dtype=np.int64)
+        if suite is not None:
+            for name, array in suite.snapshot().items():
+                payload[ANALYSIS_PREFIX + name] = array
         store.save(key, payload)
 
     windows_since_save = 0
@@ -207,6 +237,8 @@ def _run_one_shard(
         if n_shards > 1:
             window = window.where(shard_of(window.src_ip, n_shards) == shard)
         identifier.consume(window)
+        if suite is not None:
+            suite.consume(window)
         windows_since_save += 1
         if store is not None and windows_since_save >= config.checkpoint_every:
             save()
@@ -223,6 +255,7 @@ def _run_one_shard(
     return ShardRun(
         shard=shard, scans=scans, stats=stats, resumed=resumed,
         checkpoint_key=key,
+        analysis=suite.snapshot() if suite is not None else None,
     )
 
 
@@ -237,20 +270,23 @@ def _shard_stream_task(
     criteria: CampaignCriteria,
     fingerprinter: ToolFingerprinter,
     config: StreamConfig,
+    analyses: Optional[AnalysisConfig] = None,
 ) -> ShardRun:
     """Worker entry point: one shard, re-opened from the capture path.
 
     Must stay a module-level function (process pools pickle it by
     reference).  The source is rebuilt inside the worker so only the path
     and knobs cross the process boundary — the mapped pages of the capture
-    are then shared between workers by the OS page cache.
+    are then shared between workers by the OS page cache (the analysis
+    state crosses back as the plain-array snapshot on the result).
     """
     source = TraceStreamSource(
         path, batch_size=batch_size, window_s=window_s, strict=strict,
         mmap=mmap,
     )
     return _run_one_shard(
-        source, shard, n_shards, criteria, fingerprinter, config
+        source, shard, n_shards, criteria, fingerprinter, config,
+        analyses=analyses,
     )
 
 
@@ -272,6 +308,7 @@ class ShardedStreamEngine:
         criteria: Optional[CampaignCriteria] = None,
         fingerprinter: Optional[ToolFingerprinter] = None,
         config: Optional[StreamConfig] = None,
+        analyses: Optional[AnalysisConfig] = None,
     ):
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1")
@@ -284,6 +321,7 @@ class ShardedStreamEngine:
             fingerprinter if fingerprinter is not None else ToolFingerprinter()
         )
         self.config = config if config is not None else StreamConfig()
+        self.analyses = analyses
 
     def run(
         self,
@@ -300,6 +338,7 @@ class ShardedStreamEngine:
                 _run_one_shard(
                     source, shard, self.n_shards, self.criteria,
                     self.fingerprinter, self.config, progress=progress,
+                    analyses=self.analyses,
                 )
                 for shard in range(self.n_shards)
             ]
@@ -317,6 +356,7 @@ class ShardedStreamEngine:
                         str(source.path), source.batch_size, source.window_s,
                         source.strict, source.mmap, shard, self.n_shards,
                         self.criteria, self.fingerprinter, self.config,
+                        self.analyses,
                     )
                     for shard in range(self.n_shards)
                 ]
@@ -324,11 +364,21 @@ class ShardedStreamEngine:
         scans = merge_scan_tables([run.scans for run in runs])
         stats = StreamStats.merge([run.stats for run in runs])
         stats.scans = len(scans)
+        suite: Optional[AnalysisSuite] = None
+        if self.analyses is not None:
+            # Fold the shard snapshots into one suite; shards partition the
+            # sources, which is exactly the suite's merge precondition.
+            suite = AnalysisSuite(self.analyses)
+            for run in runs:
+                part = AnalysisSuite(self.analyses)
+                part.restore(run.analysis)
+                suite.merge(part)
         return ShardedStreamResult(
             scans=scans,
             stats=stats,
             shards=runs,
             resumed=any(run.resumed for run in runs),
+            analyses=suite,
         )
 
 

@@ -78,6 +78,10 @@ class StreamStats:
     #: memory guarantee in one number (``buffered_bytes`` itself drains to 0
     #: by the time a run finishes, so only the peak is meaningful then).
     peak_open_session_bytes: int = 0
+    #: Bytes held by the incremental analysis accumulators (0 when no
+    #: analyses ride along); bounded like the session buffers — it scales
+    #: with distinct keys and finalised scans, never with packets streamed.
+    analysis_state_bytes: int = 0
     #: Wall-clock seconds spent streaming (excludes skipped resume windows).
     wall_s: float = 0.0
     #: Peak resident-set size of the process, bytes.
@@ -120,6 +124,7 @@ class StreamStats:
             "sessions_discarded": self.sessions_discarded,
             "buffered_bytes": self.buffered_bytes,
             "peak_open_session_bytes": self.peak_open_session_bytes,
+            "analysis_state_bytes": self.analysis_state_bytes,
             "wall_s": self.wall_s,
             "packets_per_s": self.packets_per_s,
             "peak_rss_bytes": self.peak_rss_bytes,
@@ -147,6 +152,7 @@ class StreamStats:
             out.scans += part.scans
             out.sessions_discarded += part.sessions_discarded
             out.buffered_bytes += part.buffered_bytes
+            out.analysis_state_bytes += part.analysis_state_bytes
             out.windows = max(out.windows, part.windows)
             out.wall_s = max(out.wall_s, part.wall_s)
             out.peak_open_session_bytes = max(

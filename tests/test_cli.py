@@ -162,6 +162,30 @@ class TestStream:
         assert main(["stream", str(tmp_path / "missing.rtrace")]) == 2
         assert "not found" in capsys.readouterr().err
 
+    def test_stream_report_matches_analyze_report(self, capture, capsys):
+        """The CI diff in miniature: both --report paths must print the
+        byte-identical paper report on stdout."""
+        assert main(["analyze", str(capture), "--report"]) == 0
+        batch_out = capsys.readouterr().out
+        assert "paper report" in batch_out
+        assert "volatility" in batch_out
+        assert main(["stream", str(capture), "--report",
+                     "--batch-size", "8192"]) == 0
+        out = capsys.readouterr()
+        assert out.out == batch_out
+        assert "analysis state" in out.err  # diagnostics stay on stderr
+        assert main(["stream", str(capture), "--report", "--shards", "2",
+                     "--batch-size", "4096"]) == 0
+        assert capsys.readouterr().out == batch_out
+
+    def test_stream_report_needs_period(self, tmp_path, capsys):
+        from repro.telescope import write_trace
+        from repro.telescope.packet import PacketBatch
+        bare = tmp_path / "bare.rtrace"
+        write_trace(bare, PacketBatch.empty())
+        assert main(["stream", str(bare), "--report"]) == 2
+        assert "year" in capsys.readouterr().err
+
     def test_cache_key_resolution(self, capture, tmp_path, capsys):
         # A capture argument that is not a file resolves through --cache-dir.
         cache = tmp_path / "cache"

@@ -22,8 +22,9 @@ from repro.core.speed import (
     top_k_mean_speed,
     top_k_speed_trend,
 )
-from repro.core.volatility import weekly_change_factors
+from repro.core.volatility import source_weekly_tally, weekly_change_factors
 from repro.scanners import Tool
+from repro.telescope.packet import PacketBatch
 
 
 def make_table(speed=None, coverage=None, tool=None, src=None, start=None,
@@ -204,6 +205,50 @@ class TestCollaboration:
 
     def test_empty_table(self):
         assert collaborating_subnets(ScanTable.empty()) == []
+
+
+def _week_batch(src_ips, weeks):
+    """One packet per (src, week), placed mid-week."""
+    week_s = 7 * 86_400.0
+    n = len(src_ips)
+    return PacketBatch(
+        time=np.asarray(weeks, dtype=float) * week_s + week_s / 2,
+        src_ip=np.asarray(src_ips, dtype=np.uint32),
+        dst_ip=np.zeros(n, dtype=np.uint32),
+        src_port=np.full(n, 40000, dtype=np.uint16),
+        dst_port=np.full(n, 80, dtype=np.uint16),
+        ip_id=np.zeros(n, dtype=np.uint16),
+        seq=np.zeros(n, dtype=np.uint32),
+        ttl=np.full(n, 64, dtype=np.uint8),
+        window=np.zeros(n, dtype=np.uint16),
+        flags=np.full(n, 2, dtype=np.uint8),
+    )
+
+
+class TestSourceWeeklyTally:
+    def test_distinct_sources_past_week_255(self):
+        """Regression: the old ``(src << 8) | week`` dedupe key let week
+        indices past 255 bleed into the address bits, so an even source
+        seen in week 257 collided with source+1 seen in week 1 — one of
+        the two distinct (src, week) pairs silently vanished on any
+        horizon beyond ~5 years."""
+        src = np.uint32(0x0A0A0000 + 4)     # even, so src|1 == src + 1
+        assert ((np.uint64(src) << np.uint64(8)) | np.uint64(257)) == (
+            (np.uint64(src + 1) << np.uint64(8)) | np.uint64(1)
+        )  # the collision the old key had
+        batch = _week_batch([src, src + 1], [257, 1])
+        keys, counts = source_weekly_tally(batch, n_weeks=300)
+        block = int(src) >> 16
+        assert keys.tolist() == [
+            (block << 32) | 1, (block << 32) | 257
+        ]
+        assert counts.tolist() == [1, 1]
+
+    def test_duplicate_packets_deduped_within_week(self):
+        src = np.uint32(0x0A0A0001)
+        batch = _week_batch([src, src, src + 1], [260, 260, 260])
+        keys, counts = source_weekly_tally(batch, n_weeks=300)
+        assert counts.tolist() == [2]  # two sources, one week, one block
 
 
 class TestWeeklyChangeFactors:

@@ -10,6 +10,7 @@ from repro.core.recurrence import (
     institutional_daily_scanners,
     recurrence_by_type,
     recurrence_stats,
+    split_scan_times,
 )
 from repro.enrichment.types import ScannerType
 from repro.scanners import Tool
@@ -43,6 +44,63 @@ def table_with_scan_times(per_source, scanner_type=None):
     if scanner_type is not None:
         table.scanner_type = np.array([scanner_type] * n, dtype=object)
     return table
+
+
+class TestSplitScanTimes:
+    """The lexsort+split grouping must match a naive per-source dict walk
+    bit for bit — it replaced one, and the streaming recurrence finalise
+    step reuses it."""
+
+    def _naive_groups(self, scans):
+        groups = {}
+        for s, t in zip(scans.src_ip.tolist(), scans.start.tolist()):
+            groups.setdefault(s, []).append(t)
+        return {s: np.sort(np.array(ts, dtype=float))
+                for s, ts in groups.items()}
+
+    def test_matches_naive_grouping(self, analysis2020):
+        scans = analysis2020.study_scans
+        sources, offsets, times = split_scan_times(scans.src_ip, scans.start)
+        naive = self._naive_groups(scans)
+        assert sources.tolist() == sorted(naive)
+        for i, src in enumerate(sources.tolist()):
+            got = times[offsets[i]:offsets[i + 1]]
+            assert np.array_equal(got, naive[src]), src
+
+    def test_stats_bit_identical_to_naive(self, analysis2020):
+        from repro._util.stats import empirical_cdf
+
+        scans = analysis2020.study_scans
+        stats = recurrence_stats(scans)
+        naive = self._naive_groups(scans)
+
+        counts = np.array([naive[s].size for s in sorted(naive)],
+                          dtype=np.int64)
+        downtimes = np.concatenate(
+            [np.diff(naive[s]) for s in sorted(naive)]
+        ) if counts.size else np.array([])
+
+        assert stats.sources == len(naive)
+        assert stats.fraction_recurring == float(np.mean(counts >= 2))
+        assert stats.fraction_over_100_scans == float(np.mean(counts > 100))
+        assert stats.fraction_downtime_within_day == float(
+            np.mean(downtimes <= _DAY)
+        )
+        assert stats.daily_mode_fraction == float(np.mean(
+            (downtimes >= 0.75 * _DAY) & (downtimes <= 1.25 * _DAY)
+        ))
+        for got, want in zip(stats.scan_count_cdf, empirical_cdf(counts)):
+            assert np.array_equal(got, want)
+        for got, want in zip(stats.downtime_cdf, empirical_cdf(downtimes)):
+            assert np.array_equal(got, want)
+
+    def test_empty_table(self):
+        sources, offsets, times = split_scan_times(
+            np.array([], dtype=np.uint32), np.array([], dtype=float)
+        )
+        assert sources.size == 0
+        assert offsets.tolist() == [0]
+        assert times.size == 0
 
 
 class TestRecurrenceStats:

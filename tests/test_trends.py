@@ -7,6 +7,7 @@ from repro.core.campaigns import ScanTable
 from repro.core.trends import (
     ConcentrationReport,
     classic_port_share_trend,
+    concentration_from_packets,
     country_distribution_entropy,
     metric_trend,
     port_distribution_entropy,
@@ -89,6 +90,20 @@ class TestConcentration:
             np.random.default_rng(0).pareto(1.1, 200) * 100 + 100
         ))
         assert report.top_1pct_share <= report.top_10pct_share <= 1.0
+
+    @pytest.mark.parametrize("packets", [
+        [1e16] + [1.0] * 1000,          # head dwarfs an exact-float tail
+        [1e308, 1e-300, 1e-300],        # extreme spread
+        [7.0] * 3,                      # 0.8*total lands between elements
+        list(np.random.default_rng(1).pareto(0.6, 5000) * 1e9 + 1),
+    ])
+    def test_share_for_80pct_never_exceeds_one(self, packets):
+        """Regression: ``0.8 * total`` (pairwise sum) can exceed every
+        sequential-cumsum prefix, in which case ``searchsorted`` returned
+        ``size`` and the share came out above 1.0; the index is clamped
+        now — 100% of scans always suffice for 80% of the traffic."""
+        report = concentration_from_packets(np.array(packets, dtype=float))
+        assert 0.0 < report.share_for_80pct <= 1.0
 
 
 class TestMetricTrend:
