@@ -7,6 +7,8 @@ The subcommands cover the simulate → capture → analyse → report loop::
     repro-scan stream capture.rtrace --checkpoint-dir .stream-ckpt
     repro-scan report --years 2015,2020,2024
     repro-scan fingerprint capture.rtrace
+    repro-scan cache ls --cache-dir .capture-cache
+    repro-scan serve --port 8752 --workers 4
 
 Captures produced by ``simulate`` carry their period metadata, so
 ``analyze`` needs no extra flags; externally produced pcap files can be
@@ -23,9 +25,11 @@ reader's windows.
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
+import threading
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from repro import __version__
 from repro.core import (
@@ -41,6 +45,7 @@ from repro.core.report import paper_report
 from repro.enrichment import ScannerClassifier, build_default_registry
 from repro.reporting import (
     render_paper_report,
+    render_paper_report_json,
     render_scorecard,
     render_table1,
     render_table2,
@@ -65,6 +70,63 @@ from repro.telescope import (
     write_pcap,
     write_trace,
 )
+
+
+class _GracefulStop:
+    """SIGINT/SIGTERM as a polled flag instead of an exception.
+
+    Installing replaces both handlers with one that only records which
+    signal arrived (and fires an optional callback); long-running commands
+    poll :meth:`stop` at safe boundaries — a checkpointed window, an HTTP
+    accept loop — flush their state, and exit 0.  Handlers can only be set
+    on the main thread; elsewhere (pytest workers calling ``main()``)
+    install is a no-op and ``stop`` stays permanently False.  ``restore``
+    puts the previous handlers back, so nothing leaks across calls.
+    """
+
+    _SIGNALS = (signal.SIGINT, signal.SIGTERM)
+
+    def __init__(self, on_signal: Optional[Callable[[], None]] = None):
+        self.signal_name: Optional[str] = None
+        self._on_signal = on_signal
+        self._previous: dict = {}
+
+    def install(self) -> "_GracefulStop":
+        if threading.current_thread() is not threading.main_thread():
+            return self
+        for signum in self._SIGNALS:
+            self._previous[signum] = signal.signal(signum, self._handle)
+        return self
+
+    def _handle(self, signum, frame) -> None:
+        self.signal_name = signal.Signals(signum).name
+        if self._on_signal is not None:
+            self._on_signal()
+
+    def stop(self) -> bool:
+        return self.signal_name is not None
+
+    def restore(self) -> None:
+        for signum, previous in self._previous.items():
+            signal.signal(signum, previous)
+        self._previous.clear()
+
+
+def _parse_size(text: str) -> int:
+    """Parse a byte budget like ``750K``, ``64M``, ``2G`` or ``1048576``."""
+    units = {"K": 1024, "M": 1024 ** 2, "G": 1024 ** 3}
+    raw = text.strip().upper()
+    multiplier = 1
+    if raw and raw[-1] in units:
+        multiplier = units[raw[-1]]
+        raw = raw[:-1]
+    try:
+        value = int(float(raw) * multiplier)
+    except ValueError:
+        raise ValueError(f"malformed size {text!r} (expected e.g. 64M, 2G)")
+    if value < 0:
+        raise ValueError(f"size must be >= 0, got {text!r}")
+    return value
 
 
 def _add_worker_flags(parser: argparse.ArgumentParser) -> None:
@@ -113,6 +175,9 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="print the combined paper report (trends, "
                           "volatility, recurrence, churn) instead of the "
                           "Table 1/2 summary")
+    ana.add_argument("--json", action="store_true",
+                     help="with --report: emit the machine-readable JSON "
+                          "report instead of the text tables")
     _add_capture_flags(ana)
 
     stm = sub.add_parser(
@@ -145,6 +210,9 @@ def _build_parser() -> argparse.ArgumentParser:
                           "identifier and print the combined paper report "
                           "(equal to 'analyze --report', in one bounded-"
                           "memory pass)")
+    stm.add_argument("--json", action="store_true",
+                     help="with --report: emit the machine-readable JSON "
+                          "report instead of the text tables")
     stm.add_argument("--year", type=int, default=None,
                      help="override the capture's year metadata (--report)")
     stm.add_argument("--days", type=int, default=None,
@@ -184,6 +252,38 @@ def _build_parser() -> argparse.ArgumentParser:
     anon.add_argument("--both-sides", action="store_true",
                       help="also anonymise destination addresses")
     _add_capture_flags(anon)
+
+    cch = sub.add_parser("cache", help="inspect and prune the capture cache")
+    cch_sub = cch.add_subparsers(dest="cache_command", required=True)
+    cls = cch_sub.add_parser("ls", help="list cached captures, LRU first")
+    cls.add_argument("--cache-dir", type=Path, required=True)
+    cpr = cch_sub.add_parser(
+        "prune",
+        help="evict least-recently-used captures until the cache fits",
+    )
+    cpr.add_argument("--cache-dir", type=Path, required=True)
+    cpr.add_argument("--max-bytes", type=str, required=True,
+                     help="retained-size budget (e.g. 64M, 2G, 0)")
+
+    srv = sub.add_parser(
+        "serve",
+        help="run the long-lived analysis service (HTTP API + SSE stats)",
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8752)
+    srv.add_argument("--workers", type=int, default=2,
+                     help="job worker processes")
+    srv.add_argument("--cache-dir", type=Path, default=None,
+                     help="capture cache directory "
+                          "(default <state-dir>/captures)")
+    srv.add_argument("--state-dir", type=Path, default=Path(".repro-serve"),
+                     help="job records, checkpoints and scenarios")
+    srv.add_argument("--max-retries", type=int, default=1,
+                     help="extra attempts when a worker process dies")
+    srv.add_argument("--stats-interval", type=float, default=1.0,
+                     help="default /stats/live event cadence in seconds")
+    srv.add_argument("--verbose", action="store_true",
+                     help="log every HTTP request to stderr")
 
     return parser
 
@@ -282,6 +382,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    if args.json and not args.report:
+        print("error: --json requires --report", file=sys.stderr)
+        return 2
     batch, meta = _load_capture(args)
     year = args.year if args.year is not None else meta.get("year")
     days = args.days if args.days is not None else meta.get("days")
@@ -294,8 +397,10 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                               classifier=classifier)
     if args.report:
         # Report only on stdout — 'stream --report' promises byte-equal
-        # output, so CI can diff the two commands directly.
-        print(render_paper_report(paper_report(analysis)))
+        # output, so CI can diff the two commands directly (text and JSON).
+        report = paper_report(analysis)
+        print(render_paper_report_json(report) if args.json
+              else render_paper_report(report))
         return 0
     summary = summarize_period(analysis)
     print(render_table1({int(year): summary}))
@@ -343,6 +448,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_stream(args: argparse.Namespace) -> int:
+    if args.json and not args.report:
+        print("error: --json requires --report", file=sys.stderr)
+        return 2
     try:
         config = StreamConfig(
             batch_size=args.batch_size or STREAM_DEFAULT_BATCH_SIZE,
@@ -406,14 +514,23 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             if stats.windows % every == 0:
                 print(stats.progress_line(), file=sys.stderr)
 
-    engine = StreamEngine(config=config)
-    result = engine.run(source, progress=progress)
+    stopper = _GracefulStop().install()
+    try:
+        engine = StreamEngine(config=config)
+        result = engine.run(source, progress=progress, stop=stopper.stop)
+    finally:
+        stopper.restore()
     if result.resumed:
         print(f"resumed from checkpoint past "
               f"{result.stats.resumed_packets:,} packets", file=sys.stderr)
     if result.truncated_source:
         print("note: capture was truncated; partial final batch dropped",
               file=sys.stderr)
+    if result.interrupted:
+        where = (result.checkpoint_path if result.checkpoint_path is not None
+                 else "(no --checkpoint-dir; progress not saved)")
+        print(f"interrupted by {stopper.signal_name}; checkpoint flushed — "
+              f"resumable from {where}", file=sys.stderr)
     print(result.stats.summary_line())
     table = result.scans
     print(f"identified {len(table):,} scan(s), "
@@ -451,6 +568,7 @@ def _stream_report_cmd(
                 if stats.windows % every == 0:
                     print(stats.progress_line(), file=sys.stderr)
 
+    stopper = _GracefulStop().install()
     try:
         result = stream_report(
             source,
@@ -464,10 +582,13 @@ def _stream_report_cmd(
             checkpoint_every=config.checkpoint_every,
             strict=config.strict,
             progress=progress,
+            stop=stopper.stop if args.shards == 1 else None,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        stopper.restore()
     if result.resumed:
         print(f"resumed from checkpoint past "
               f"{result.stats.resumed_packets:,} packets", file=sys.stderr)
@@ -475,7 +596,16 @@ def _stream_report_cmd(
     print(f"identified {len(result.scans):,} scan(s); analysis state "
           f"{format_bytes(result.stats.analysis_state_bytes)}",
           file=sys.stderr)
-    print(render_paper_report(result.report))
+    if result.interrupted:
+        # A partial report would silently break the byte-parity promise
+        # with 'analyze --report'; flush the checkpoint and say so instead.
+        where = (result.checkpoint_path if result.checkpoint_path is not None
+                 else "(no --checkpoint-dir; progress not saved)")
+        print(f"interrupted by {stopper.signal_name}; checkpoint flushed — "
+              f"resumable from {where}", file=sys.stderr)
+    else:
+        print(render_paper_report_json(result.report) if args.json
+              else render_paper_report(result.report))
     if args.stats_json is not None:
         import json
 
@@ -543,6 +673,74 @@ def _cmd_anonymize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.exec import CaptureCache
+
+    cache = CaptureCache(args.cache_dir)
+    if args.cache_command == "ls":
+        entries = cache.usage()
+        for entry in entries:
+            print(f"{entry.key}  {format_bytes(entry.bytes):>10}  {entry.path}")
+        print(f"{len(entries)} entr(y/ies), "
+              f"{format_bytes(cache.total_bytes())} total", file=sys.stderr)
+        return 0
+    try:
+        budget = _parse_size(args.max_bytes)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    removed = cache.prune(budget)
+    for entry in removed:
+        print(f"evicted {entry.key}  {format_bytes(entry.bytes)}")
+    print(f"{len(removed)} evicted; "
+          f"{format_bytes(cache.total_bytes())} retained", file=sys.stderr)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import create_server
+
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        server = create_server(
+            host=args.host,
+            port=args.port,
+            cache_dir=args.cache_dir,
+            state_dir=args.state_dir,
+            workers=args.workers,
+            max_retries=args.max_retries,
+            stats_interval=args.stats_interval,
+            verbose=args.verbose,
+        )
+    except OSError as exc:
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 2
+
+    def _shutdown() -> None:
+        # serve_forever() runs on this (main) thread; shutdown() blocks
+        # until the loop exits, so it must run on a helper thread.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    stopper = _GracefulStop(on_signal=_shutdown).install()
+    host, port = server.server_address[:2]
+    jobs = server.app.queue.stats()["jobs"]
+    print(f"repro-serve listening on http://{host}:{port} "
+          f"(workers={args.workers}, state={args.state_dir}, "
+          f"{jobs['total']} job record(s) restored)", file=sys.stderr)
+    try:
+        server.serve_forever(poll_interval=0.2)
+    finally:
+        stopper.restore()
+        server.app.close()
+        server.server_close()
+    print(f"stopped by {stopper.signal_name or 'shutdown'}; job records "
+          f"flushed — resumable from {args.state_dir}", file=sys.stderr)
+    return 0
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "analyze": _cmd_analyze,
@@ -551,6 +749,8 @@ _COMMANDS = {
     "fingerprint": _cmd_fingerprint,
     "anonymize": _cmd_anonymize,
     "validate": _cmd_validate,
+    "cache": _cmd_cache,
+    "serve": _cmd_serve,
 }
 
 

@@ -13,11 +13,12 @@
   runs with unchanged seed, calibration and budgets skip synthesis entirely.
 """
 
-from repro.exec.cache import CACHE_SCHEMA_VERSION, CaptureCache
+from repro.exec.cache import CACHE_SCHEMA_VERSION, CacheEntry, CaptureCache
 from repro.exec.parallel import simulate_years_parallel
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
+    "CacheEntry",
     "CaptureCache",
     "simulate_years_parallel",
 ]

@@ -147,6 +147,16 @@ def _spec_from_json(data: Dict[str, Any]):
     )
 
 
+@dataclasses.dataclass(frozen=True)
+class CacheEntry:
+    """One cached capture as seen by the maintenance commands."""
+
+    key: str
+    path: Path
+    bytes: int
+    mtime: float
+
+
 class CaptureCache:
     """A directory of content-addressed ``.rtrace`` captures.
 
@@ -216,6 +226,12 @@ class CaptureCache:
             return None
         batch, _ = read_trace(path)
         self.hits += 1
+        # Refresh the entry's mtime so prune()'s LRU order tracks use, not
+        # creation; best-effort (a concurrent prune may have removed it).
+        try:
+            os.utime(path)
+        except OSError:  # pragma: no cover - raced with prune/clear
+            pass
         return SimulationResult(
             year=int(meta["year"]),
             config=year_config(int(meta["year"]), days=int(meta["days"])),
@@ -259,6 +275,55 @@ class CaptureCache:
     def entries(self) -> List[Path]:
         """Cached capture files, sorted by name."""
         return sorted(self.root.glob("*.rtrace"))
+
+    def usage(self) -> List["CacheEntry"]:
+        """Entry inventory in LRU order (least recently used first).
+
+        ``load`` refreshes an entry's mtime, so mtime order is use order.
+        Entries that vanish between the glob and the stat (concurrent
+        prune) are skipped.
+        """
+        rows: List[CacheEntry] = []
+        for path in self.entries():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            rows.append(CacheEntry(
+                key=path.stem,
+                path=path,
+                bytes=int(stat.st_size),
+                mtime=float(stat.st_mtime),
+            ))
+        rows.sort(key=lambda e: (e.mtime, e.key))
+        return rows
+
+    def total_bytes(self) -> int:
+        """Total size of every cached capture."""
+        return sum(entry.bytes for entry in self.usage())
+
+    def prune(self, max_bytes: int) -> List["CacheEntry"]:
+        """Evict least-recently-used entries until the cache fits.
+
+        Deletions are plain unlinks — atomic against the cache's own
+        readers, whose ``load`` treats a vanished file as a miss.  Returns
+        the entries removed (possibly none).
+        """
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
+        entries = self.usage()
+        total = sum(entry.bytes for entry in entries)
+        removed: List[CacheEntry] = []
+        for entry in entries:  # oldest first
+            if total <= max_bytes:
+                break
+            try:
+                entry.path.unlink()
+            except OSError:  # pragma: no cover - raced with another pruner
+                continue
+            total -= entry.bytes
+            removed.append(entry)
+        return removed
 
     def clear(self) -> int:
         """Delete every entry; returns the number removed."""

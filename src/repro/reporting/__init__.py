@@ -2,7 +2,10 @@
 
 from repro.reporting.tables import (
     TABLE1_TOOLS,
+    paper_report_to_json,
     render_paper_report,
+    render_paper_report_json,
+    render_report_doc,
     render_table1,
     render_table2,
 )
@@ -31,7 +34,10 @@ from repro.reporting.figures import (
 
 __all__ = [
     "TABLE1_TOOLS",
+    "paper_report_to_json",
     "render_paper_report",
+    "render_paper_report_json",
+    "render_report_doc",
     "render_table1",
     "render_table2",
     "ClaimCheck",

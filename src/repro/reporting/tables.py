@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+import json
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from repro._util.fmt import format_count, format_percent, format_table
 from repro.core.classification import TypeShares
@@ -148,6 +149,114 @@ def render_paper_report(report: PaperReport) -> str:
             f"  inflation factor: {churn.fit.inflation_factor!r}",
         ]
     return "\n".join(lines)
+
+
+def _cdf_to_json(cdf) -> Dict[str, List[float]]:
+    values, fractions = cdf
+    return {
+        "values": [float(v) for v in values],
+        "cdf": [float(v) for v in fractions],
+    }
+
+
+def _recurrence_stats_to_json(stats) -> Dict[str, object]:
+    return {
+        "sources": int(stats.sources),
+        "fraction_recurring": float(stats.fraction_recurring),
+        "fraction_over_100_scans": float(stats.fraction_over_100_scans),
+        "scan_count_cdf": _cdf_to_json(stats.scan_count_cdf),
+        "downtime_cdf": _cdf_to_json(stats.downtime_cdf),
+        "fraction_downtime_within_day": float(stats.fraction_downtime_within_day),
+        "daily_mode_fraction": float(stats.daily_mode_fraction),
+    }
+
+
+def paper_report_to_json(report: PaperReport) -> Dict[str, Any]:
+    """The machine-readable twin of :func:`render_paper_report`.
+
+    Every scalar the text renderer prints appears here under a stable path,
+    plus the CDF/curve series the text tables omit.  All numerics are
+    coerced to native ``int``/``float`` so ``json.dumps`` emits the same
+    shortest-round-trip representation the text path gets from ``repr`` —
+    the byte-parity promise extends to JSON, and every float survives a
+    JSON round-trip exactly.
+    """
+    conc = report.trends.concentration
+    intensity = report.trends.intensity
+    rec = report.recurrence
+    churn = report.churn
+    doc: Dict[str, Any] = {
+        "year": int(report.year),
+        "days": int(report.days),
+        "packets": int(report.packets),
+        "scans": int(report.scans),
+        "trends": {
+            "classic_port_share": float(report.trends.classic_port_share),
+            "port_entropy": float(report.trends.port_entropy),
+            "country_entropy": float(report.trends.country_entropy),
+            "concentration": None if conc is None else {
+                "scans": int(conc.scans),
+                "gini": float(conc.gini),
+                "top_1pct_share": float(conc.top_1pct_share),
+                "top_10pct_share": float(conc.top_10pct_share),
+                "share_for_80pct": float(conc.share_for_80pct),
+            },
+            "intensity": None if intensity is None else {
+                "scans": int(intensity.scans),
+                "median_packets": float(intensity.median_packets),
+                "mean_packets": float(intensity.mean_packets),
+                "median_duration_s": float(intensity.median_duration_s),
+                "mean_duration_s": float(intensity.mean_duration_s),
+            },
+        },
+        "volatility": {
+            metric: {
+                "metric": summary.metric,
+                "pairs": int(summary.pairs),
+                "fraction_stable": float(summary.fraction_stable),
+                "fraction_at_least_2x": float(summary.fraction_at_least_2x),
+                "fraction_at_least_3x": float(summary.fraction_at_least_3x),
+                "cdf": _cdf_to_json(summary.cdf),
+            }
+            for metric, summary in sorted(report.volatility.items())
+        },
+        "recurrence": {
+            "overall": _recurrence_stats_to_json(rec.overall),
+            "by_type": {
+                stype.value: _recurrence_stats_to_json(rec.by_type[stype])
+                for stype in sorted(rec.by_type, key=lambda t: t.value)
+            },
+            "institutional_daily": int(rec.institutional_daily),
+        },
+        "churn": {
+            "curve": [int(v) for v in churn.curve],
+            "distinct_sources": (
+                int(churn.curve[-1]) if churn.curve.size else 0
+            ),
+            "fit": None if churn.fit is None else {
+                "population": float(churn.fit.population),
+                "lifetime_days": float(churn.fit.lifetime_days),
+                "observed_sources": int(churn.fit.observed_sources),
+                "inflation_factor": float(churn.fit.inflation_factor),
+                "residual": float(churn.fit.residual),
+            },
+        },
+    }
+    return doc
+
+
+def render_report_doc(doc: Dict[str, Any]) -> str:
+    """Canonical JSON text for a report document.
+
+    One serialisation (sorted keys, two-space indent) shared by the CLI
+    ``--json`` flags and the HTTP API, so `diff` works across transports.
+    """
+    return json.dumps(doc, sort_keys=True, indent=2)
+
+
+def render_paper_report_json(report: PaperReport) -> str:
+    """Render the paper report as canonical JSON text."""
+    return render_report_doc(paper_report_to_json(report))
 
 
 def render_table2(shares: Sequence[TypeShares]) -> str:

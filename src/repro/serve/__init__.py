@@ -1,0 +1,40 @@
+"""repro.serve — long-running analysis service over the one-shot pipeline.
+
+Three pieces, layered:
+
+* :mod:`repro.serve.jobs` / :mod:`repro.serve.queue` — a broker-free,
+  deduplicating :class:`JobQueue` whose job identity reuses the
+  CaptureCache content keys (identical submissions coalesce into one
+  computation) with persisted records and checkpoint re-attach on restart;
+* :mod:`repro.serve.scenario` — per-tenant named configs whose derived
+  analyses cache under a config hash;
+* :mod:`repro.serve.api` — a stdlib HTTP front-end with a live SSE stats
+  stream, exposed as ``repro-scan serve``.
+"""
+
+from repro.serve.api import ServeApp, ServeServer, create_server
+from repro.serve.jobs import JOB_KINDS, JobSpec, execute_job, run_stream_report
+from repro.serve.queue import (
+    SERVE_SCHEMA_VERSION,
+    JobQueue,
+    JobRecord,
+    JobState,
+)
+from repro.serve.scenario import Scenario, ScenarioStore, config_hash
+
+__all__ = [
+    "JOB_KINDS",
+    "SERVE_SCHEMA_VERSION",
+    "JobSpec",
+    "JobQueue",
+    "JobRecord",
+    "JobState",
+    "Scenario",
+    "ScenarioStore",
+    "ServeApp",
+    "ServeServer",
+    "config_hash",
+    "create_server",
+    "execute_job",
+    "run_stream_report",
+]

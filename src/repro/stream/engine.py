@@ -90,6 +90,10 @@ class StreamResult:
     #: The incremental analysis suite (when one rode along); it has
     #: consumed every window and awaits ``consume_scans`` + ``finalize``.
     analyses: Optional[AnalysisSuite] = None
+    #: True when a ``stop`` callback ended the run between windows (the
+    #: final checkpoint still covers every committed window, so a later
+    #: run resumes where this one left off).
+    interrupted: bool = False
 
 
 class StreamEngine:
@@ -112,6 +116,7 @@ class StreamEngine:
         source: StreamSource,
         progress: Optional[ProgressCallback] = None,
         analyses: Optional[AnalysisSuite] = None,
+        stop: Optional[Callable[[], bool]] = None,
     ) -> StreamResult:
         """Stream ``source`` to completion and return the scan table.
 
@@ -121,6 +126,13 @@ class StreamEngine:
         in the same checkpoints (under an ``an__`` array prefix, with its
         config joined into the key), and is handed back on the result for
         the caller to feed scans into and finalise.
+
+        ``stop`` (when given) is polled after every committed window; the
+        first ``True`` ends the run at that window boundary — a graceful
+        interrupt.  The final checkpoint is still written (covering every
+        window consumed so far) and the result carries ``interrupted=True``
+        with the partial scans finalised, so the caller can report and a
+        re-run resumes from the flushed checkpoint.
         """
         config = self.config
         identifier = IncrementalScanIdentifier(self.criteria, self.fingerprinter)
@@ -153,6 +165,7 @@ class StreamEngine:
         self._refresh(stats, identifier, started, analyses)
 
         windows_since_save = 0
+        interrupted = False
         for window in source.windows(skip_packets=identifier.packets_consumed):
             identifier.consume(window)
             if analyses is not None:
@@ -164,6 +177,9 @@ class StreamEngine:
             self._refresh(stats, identifier, started, analyses)
             if progress is not None:
                 progress(stats)
+            if stop is not None and stop():
+                interrupted = True
+                break
 
         checkpoint_path: Optional[Path] = None
         if store is not None:
@@ -182,6 +198,7 @@ class StreamEngine:
             checkpoint_path=checkpoint_path,
             truncated_source=getattr(source, "truncated", False),
             analyses=analyses,
+            interrupted=interrupted,
         )
 
     @staticmethod

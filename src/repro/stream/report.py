@@ -49,6 +49,12 @@ class StreamReportResult:
     scans: ScanTable            # identified + fingerprinted + enriched
     stats: StreamStats
     resumed: bool = False
+    #: True when a ``stop`` callback cut the pass short; the report covers
+    #: only the windows committed before the interrupt, and the flushed
+    #: checkpoint lets a re-run pick up from there.
+    interrupted: bool = False
+    #: Where the final checkpoint landed (None when checkpointing was off).
+    checkpoint_path: Optional[Path] = None
 
 
 def _period_of(
@@ -88,6 +94,7 @@ def stream_report(
     mmap: Optional[bool] = None,
     classifier: Optional[ScannerClassifier] = None,
     progress: Optional[Callable[..., None]] = None,
+    stop: Optional[Callable[[], bool]] = None,
 ) -> StreamReportResult:
     """Compute the full paper report from ``capture`` in one bounded pass.
 
@@ -97,7 +104,11 @@ def stream_report(
     reproduce a specific :class:`~repro.core.pipeline.PeriodAnalysis`.
     ``progress`` follows the underlying engine's callback signature:
     ``progress(stats)`` serially, ``progress(shard, stats)`` sharded.
+    ``stop`` (serial path only) gracefully interrupts between windows after
+    flushing a checkpoint — see :meth:`StreamEngine.run`.
     """
+    if stop is not None and n_shards != 1:
+        raise ValueError("stop callbacks are only supported when n_shards=1")
     source = as_stream_source(
         capture, batch_size, window_s, strict=strict, mmap=mmap
     )
@@ -115,6 +126,7 @@ def stream_report(
         result = engine.run(
             source, progress=progress,
             analyses=AnalysisSuite(analysis_config),
+            stop=stop,
         )
         suite = result.analyses
     else:
@@ -138,4 +150,6 @@ def stream_report(
         scans=scans,
         stats=result.stats,
         resumed=result.resumed,
+        interrupted=getattr(result, "interrupted", False),
+        checkpoint_path=getattr(result, "checkpoint_path", None),
     )

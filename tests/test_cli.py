@@ -217,3 +217,124 @@ class TestFlagParity:
                      "--max-packets", "8000", "--min-scans", "30",
                      "--workers", "1", "--out", str(out)]) == 0
         assert out.exists()
+
+
+class TestJsonReport:
+    def test_json_matches_between_batch_and_stream(self, capture, capsys):
+        import json
+
+        assert main(["analyze", str(capture), "--report", "--json"]) == 0
+        batch_out = capsys.readouterr().out
+        doc = json.loads(batch_out)
+        assert doc["year"] == 2018 and doc["days"] == 5
+        assert main(["stream", str(capture), "--report", "--json",
+                     "--batch-size", "8192"]) == 0
+        assert capsys.readouterr().out == batch_out
+
+    def test_json_requires_report(self, capture, capsys):
+        assert main(["analyze", str(capture), "--json"]) == 2
+        assert "--report" in capsys.readouterr().err
+        assert main(["stream", str(capture), "--json"]) == 2
+        assert "--report" in capsys.readouterr().err
+
+
+class TestCacheCommand:
+    def _fake_cache(self, tmp_path):
+        # `cache ls|prune` manage files by size and mtime only, so plain
+        # placeholder entries exercise the LRU mechanics.
+        import os
+
+        cache = tmp_path / "cache"
+        cache.mkdir()
+        old = cache / ("a" * 32 + ".rtrace")
+        new = cache / ("b" * 32 + ".rtrace")
+        old.write_bytes(b"x" * 2048)
+        new.write_bytes(b"y" * 1024)
+        os.utime(old, (1_000_000, 1_000_000))
+        os.utime(new, (2_000_000, 2_000_000))
+        return cache, old, new
+
+    def test_ls_lists_lru_first(self, tmp_path, capsys):
+        cache, old, new = self._fake_cache(tmp_path)
+        assert main(["cache", "ls", "--cache-dir", str(cache)]) == 0
+        out = capsys.readouterr()
+        lines = out.out.splitlines()
+        assert lines[0].startswith("a" * 32)
+        assert lines[1].startswith("b" * 32)
+        assert "2 entr(y/ies)" in out.err
+
+    def test_prune_evicts_oldest_until_budget(self, tmp_path, capsys):
+        cache, old, new = self._fake_cache(tmp_path)
+        assert main(["cache", "prune", "--cache-dir", str(cache),
+                     "--max-bytes", "1K"]) == 0
+        out = capsys.readouterr()
+        assert not old.exists() and new.exists()
+        assert "a" * 32 in out.out
+        assert "1 evicted" in out.err
+
+    def test_prune_within_budget_is_a_noop(self, tmp_path, capsys):
+        cache, old, new = self._fake_cache(tmp_path)
+        assert main(["cache", "prune", "--cache-dir", str(cache),
+                     "--max-bytes", "1M"]) == 0
+        assert old.exists() and new.exists()
+        assert "0 evicted" in capsys.readouterr().err
+
+    def test_prune_rejects_malformed_budget(self, tmp_path, capsys):
+        cache, _, _ = self._fake_cache(tmp_path)
+        assert main(["cache", "prune", "--cache-dir", str(cache),
+                     "--max-bytes", "lots"]) == 2
+        assert "malformed size" in capsys.readouterr().err
+
+
+class TestGracefulSignals:
+    def test_sigterm_mid_stream_flushes_and_exits_zero(
+        self, capture, tmp_path, capsys, monkeypatch
+    ):
+        """SIGTERM between windows takes the graceful path: checkpoint
+        flushed, 'resumable from' line, exit code 0 — and the next run
+        resumes from the flushed checkpoint."""
+        import os
+        import signal
+        import threading
+
+        if threading.current_thread() is not threading.main_thread():
+            pytest.skip("signal handlers need the main thread")
+
+        import repro.stream.engine as engine_mod
+
+        original = engine_mod.StreamEngine._refresh
+        windows = []
+
+        def refresh_then_signal(stats, identifier, started, analyses=None):
+            original(stats, identifier, started, analyses)
+            windows.append(None)
+            if len(windows) == 3:
+                # delivered synchronously on this (main) thread, exactly
+                # like an operator's `kill` between two windows
+                os.kill(os.getpid(), signal.SIGTERM)
+
+        monkeypatch.setattr(
+            engine_mod.StreamEngine, "_refresh",
+            staticmethod(refresh_then_signal),
+        )
+        ckpt = tmp_path / "ckpt"
+        handler_before = signal.getsignal(signal.SIGTERM)
+        assert main(["stream", str(capture), "--batch-size", "4096",
+                     "--checkpoint-dir", str(ckpt),
+                     "--checkpoint-every", "100"]) == 0
+        err = capsys.readouterr().err
+        assert "interrupted by SIGTERM" in err
+        assert "resumable from" in err
+        assert signal.getsignal(signal.SIGTERM) is handler_before
+
+        monkeypatch.setattr(engine_mod.StreamEngine, "_refresh",
+                            staticmethod(original))
+        assert main(["stream", str(capture), "--batch-size", "4096",
+                     "--checkpoint-dir", str(ckpt)]) == 0
+        assert "resumed from checkpoint" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def test_rejects_zero_workers(self, capsys):
+        assert main(["serve", "--workers", "0"]) == 2
+        assert "--workers" in capsys.readouterr().err

@@ -185,3 +185,67 @@ class TestCaptureCache:
         _simulate(workers=0, years=[2020], cache=cache)
         assert cache.clear() == 1
         assert cache.entries() == []
+
+
+class TestCacheMaintenance:
+    def _filled(self, tmp_path):
+        cache = CaptureCache(tmp_path / "cache")
+        _simulate(workers=0, cache=cache)  # one entry per year in YEARS
+        return cache
+
+    def test_usage_orders_lru_first(self, tmp_path):
+        import os
+
+        cache = self._filled(tmp_path)
+        rows = cache.usage()
+        assert len(rows) == len(YEARS)
+        assert all(row.bytes > 0 for row in rows)
+        # force a known order, then check it is honoured
+        os.utime(rows[0].path, (2_000_000, 2_000_000))
+        os.utime(rows[1].path, (1_000_000, 1_000_000))
+        reordered = cache.usage()
+        assert reordered[0].key == rows[1].key
+        assert reordered[-1].key == rows[0].key
+        assert cache.total_bytes() == sum(row.bytes for row in rows)
+
+    def test_load_refreshes_lru_position(self, tmp_path):
+        import os
+
+        cache = self._filled(tmp_path)
+        rows = cache.usage()
+        for row, stamp in zip(rows, (1_000_000, 2_000_000)):
+            os.utime(row.path, (stamp, stamp))
+        oldest = cache.usage()[0]
+        # a hit on the oldest entry must move it to most-recently-used
+        world = TelescopeWorld(rng=SEED)
+        year = next(
+            y for y in YEARS
+            if cache.key_for(world, y, days=DAYS, max_packets=MAX_PACKETS,
+                             min_scans=MIN_SCANS) == oldest.key
+        )
+        assert cache.load(oldest.key, world) is not None
+        assert cache.usage()[-1].key == oldest.key
+
+    def test_prune_evicts_oldest_until_budget(self, tmp_path):
+        import os
+
+        cache = self._filled(tmp_path)
+        rows = cache.usage()
+        os.utime(rows[0].path, (1_000_000, 1_000_000))
+        os.utime(rows[1].path, (2_000_000, 2_000_000))
+        keep = rows[1]
+        removed = cache.prune(max_bytes=keep.bytes)
+        assert [row.key for row in removed] == [rows[0].key]
+        assert not rows[0].path.exists()
+        assert keep.path.exists()
+        assert cache.total_bytes() <= keep.bytes
+        # already within budget: nothing further happens
+        assert cache.prune(max_bytes=keep.bytes) == []
+
+    def test_prune_to_zero_clears_everything(self, tmp_path):
+        cache = self._filled(tmp_path)
+        removed = cache.prune(max_bytes=0)
+        assert len(removed) == len(YEARS)
+        assert cache.entries() == []
+        with pytest.raises(ValueError):
+            cache.prune(max_bytes=-1)

@@ -296,6 +296,48 @@ class TestCheckpointResume:
         assert result.stats.resumed_packets == windows_before_kill * 8192
         assert_tables_equal(result.scans, scans2020)
 
+    def test_graceful_stop_flushes_checkpoint_and_resumes(
+        self, tmp_path, batch2020, scans2020
+    ):
+        """A ``stop`` callback ends the run between windows with the final
+        checkpoint flushed; the next run resumes and finishes identically.
+        """
+        path = self._trace(tmp_path, batch2020)
+        config = StreamConfig(
+            batch_size=8192, checkpoint_dir=tmp_path / "ckpt",
+            checkpoint_every=100,  # force the flush to come from the stop
+        )
+        windows = []
+
+        def stop():
+            windows.append(None)
+            return len(windows) >= 3
+
+        first = StreamEngine(config=config).run(
+            TraceStreamSource(path, batch_size=8192), stop=stop
+        )
+        assert first.interrupted
+        assert first.stats.packets == 3 * 8192
+        assert first.checkpoint_path is not None
+        assert first.checkpoint_path.exists()
+
+        second = StreamEngine(config=config).run(
+            TraceStreamSource(path, batch_size=8192)
+        )
+        assert second.resumed and not second.interrupted
+        assert second.stats.resumed_packets == 3 * 8192
+        assert_tables_equal(second.scans, scans2020)
+
+    def test_stop_never_true_is_inert(self, tmp_path, batch2020, scans2020):
+        path = self._trace(tmp_path, batch2020)
+        config = StreamConfig(batch_size=16_384,
+                              checkpoint_dir=tmp_path / "ckpt")
+        result = StreamEngine(config=config).run(
+            TraceStreamSource(path, batch_size=16_384), stop=lambda: False
+        )
+        assert not result.interrupted
+        assert_tables_equal(result.scans, scans2020)
+
     def test_rerun_after_completion_is_cheap(self, tmp_path, batch2020,
                                              scans2020):
         path = self._trace(tmp_path, batch2020)
