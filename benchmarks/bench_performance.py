@@ -270,3 +270,56 @@ def test_perf_lint(benchmark, tmp_path):
         f"warm lint only {speedup:.1f}x faster than cold "
         f"({warm_s:.3f}s vs {cold_s:.3f}s)"
     )
+
+
+def test_perf_lint_concurrency(benchmark, tmp_path):
+    """Concurrency pass (RPR015-019) over src/repro: cold vs cache-warm.
+
+    Selecting only the lockset rules still runs pass 1 in full (the
+    per-file summaries carry the lock/acquisition/spawn index regardless
+    of rule selection), so the summary cache has to pay off here exactly
+    as it does for the whole rule set: the warm fixpoint solve plus rule
+    checks must come in >= 3x under the cold parse-everything run.
+    """
+    import time
+
+    from repro.lint.config import load_config
+    from repro.lint.project import lint_repository
+
+    repo_root = Path(__file__).resolve().parent.parent
+    config = load_config(repo_root / "pyproject.toml")
+    config.select = ["RPR015", "RPR016", "RPR017", "RPR018", "RPR019"]
+    targets = [repo_root / "src" / "repro"]
+    cache_dir = tmp_path / "lint-cache"
+
+    start = time.perf_counter()
+    cold_diags, _, cold_stats = lint_repository(
+        config, paths=targets, cache_dir=cache_dir, use_cache=True
+    )
+    cold_s = time.perf_counter() - start
+    assert cold_stats.cache_hits == 0
+
+    def warm():
+        diags, _, stats = lint_repository(
+            config, paths=targets, cache_dir=cache_dir, use_cache=True
+        )
+        assert stats.cache_misses == 0
+        return diags
+
+    warm_diags = benchmark.pedantic(warm, rounds=3, iterations=1)
+    assert warm_diags == cold_diags
+    # The audited tree is expected to be clean: every genuine finding in
+    # the serve layer is either fixed or carries an invariant-stating
+    # suppression, so a non-empty diff here is a regression.
+    assert warm_diags == []
+
+    warm_s = max(benchmark.stats.stats.median, 1e-9)
+    speedup = cold_s / warm_s
+    benchmark.extra_info["files"] = cold_stats.files
+    benchmark.extra_info["cold_s"] = round(cold_s, 4)
+    benchmark.extra_info["warm_median_s"] = round(warm_s, 4)
+    benchmark.extra_info["warm_speedup"] = round(speedup, 1)
+    assert speedup >= 3.0, (
+        f"warm concurrency lint only {speedup:.1f}x faster than cold "
+        f"({warm_s:.3f}s vs {cold_s:.3f}s)"
+    )

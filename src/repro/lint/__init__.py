@@ -21,6 +21,11 @@ RPR011    overflow-arithmetic   packed-key arithmetic fits its dtype
 RPR012    unit-mixing           seconds/packets/bytes/... never mix silently
 RPR013    persisted-dtype-drift serialised layouts match declared columns
 RPR014    float-accumulation    timestamps accumulate in float64
+RPR015    unguarded-shared-state guarded attributes never read/written bare
+RPR016    lock-order-inversion  the lock-acquisition graph stays acyclic
+RPR017    blocking-call-under-lock no blocking calls while a lock is held
+RPR018    callback-reentrancy   callbacks never re-enter a held Lock
+RPR019    atomicity-split       no check-then-act across lock scopes
 ========  ====================  ===============================================
 
 RPR001–005 are per-file syntactic rules; RPR006–009 are whole-program
@@ -29,7 +34,10 @@ by the analyzer in :mod:`repro.lint.project` (per-file summaries are
 content-addressed-cached and parsed in parallel under ``--workers``);
 RPR010–014 are the third pass — interprocedural dtype/width/unit abstract
 interpretation in :mod:`repro.lint.typeflow`, running purely over the
-cached summaries.
+cached summaries; RPR015–019 are the fourth pass — lockset, lock-order
+and blocking-under-lock analysis in :mod:`repro.lint.concurrency` over
+the threaded serve layer (``repro-lint --explain RPR0NN`` prints any
+rule's catalog entry).
 
 Run ``python -m repro.lint`` (or the ``repro-lint`` console script);
 configure via ``[tool.repro-lint]`` in pyproject.toml (path-scoped rule

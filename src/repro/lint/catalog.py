@@ -1,0 +1,329 @@
+"""Rule catalog for ``repro-lint --explain RPR0NN``.
+
+One entry per registered rule: the doc paragraph from docs/lint.md and a
+minimal triggering example, so a suppression review never requires
+opening the docs.  A test asserts the catalog covers exactly the
+registered rule set — adding a rule without a catalog entry fails CI.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class RuleDoc:
+    """Catalog entry: what the rule enforces and a minimal trigger."""
+
+    code: str
+    name: str
+    summary: str
+    example: str
+
+
+def _doc(code: str, name: str, summary: str, example: str) -> RuleDoc:
+    return RuleDoc(
+        code=code,
+        name=name,
+        summary=textwrap.dedent(summary).strip(),
+        example=textwrap.dedent(example).strip("\n"),
+    )
+
+
+CATALOG: Dict[str, RuleDoc] = {
+    doc.code: doc
+    for doc in (
+        _doc(
+            "RPR001", "determinism",
+            """
+            No ambient nondeterminism in library code: wall-clock reads
+            (time.time, datetime.now), ambient randomness (random.*,
+            numpy.random without an explicit Generator), or iteration
+            over unordered sets where order reaches output.  Every run
+            of an analysis must be byte-reproducible from its seed.
+            """,
+            """
+            import time
+            started = time.time()          # RPR001
+            """,
+        ),
+        _doc(
+            "RPR002", "rng-plumbing",
+            """
+            Random generators derive from repro._util.rng
+            (as_generator / derive_rng / spawn_rngs) instead of direct
+            numpy.random.default_rng construction, so adding a consumer
+            never shifts the draws any existing consumer sees.
+            """,
+            """
+            import numpy as np
+            g = np.random.default_rng(0)   # RPR002 — use derive_rng
+            """,
+        ),
+        _doc(
+            "RPR003", "header-field-safety",
+            """
+            Integer literals assigned to packet-header fields fit the
+            field's wire width (ttl is 8-bit, ports 16-bit, ...), numpy
+            scalar constructors don't overflow their dtype, and astype
+            casts on packet columns don't narrow.  Out-of-range values
+            wrap silently in the column store.
+            """,
+            """
+            batch = make_batch(ttl=300)    # RPR003 — ttl is 8-bit
+            """,
+        ),
+        _doc(
+            "RPR004", "batch-immutability",
+            """
+            PacketBatch columns are never mutated in place
+            (batch.col[i] = x, batch.col += y, np.sort(batch.col) with
+            out=).  Batches are shared between analyses; mutation in one
+            corrupts every other reader.
+            """,
+            """
+            batch.ts[0] = 0.0              # RPR004
+            """,
+        ),
+        _doc(
+            "RPR005", "float-equality",
+            """
+            No == / != between floats in core/ analysis code — rates,
+            fractions and timestamps accumulate rounding error; compare
+            with a tolerance or on the underlying integers.
+            """,
+            """
+            if rate == 0.1:                # RPR005
+                ...
+            """,
+        ),
+        _doc(
+            "RPR006", "rng-key-paths",
+            """
+            Whole-program: derive_rng key strings are compile-time
+            constants and globally collision-free.  Two call sites
+            sharing a key silently share a stream, correlating draws
+            that the paper's methodology assumes independent.
+            """,
+            """
+            # module_a.py: derive_rng(rng, "scan")
+            # module_b.py: derive_rng(rng, "scan")   # RPR006 — collision
+            """,
+        ),
+        _doc(
+            "RPR007", "process-safety",
+            """
+            Whole-program: functions submitted to executors stay pure —
+            no writes to module globals, closed-over mutable state, or
+            instance attributes reachable from the parent process.  A
+            fork/spawn boundary makes such writes silently diverge.
+            """,
+            """
+            counter = 0
+            def task(x):
+                global counter
+                counter += 1               # RPR007 — lost across spawn
+            pool.submit(task, 1)
+            """,
+        ),
+        _doc(
+            "RPR008", "schema-drift",
+            """
+            Whole-program: persisted document fields match the committed
+            schema manifest (lint-schema.json).  Renaming or adding a
+            persisted key without bumping the schema version makes old
+            captures unreadable or silently misread.
+            """,
+            """
+            doc = {"schema": 3, "new_field": x}   # RPR008 until the
+            # manifest is regenerated via --update-schema-manifest
+            """,
+        ),
+        _doc(
+            "RPR009", "batch-column-flow",
+            """
+            Whole-program: no interprocedural PacketBatch column
+            mutation — a helper that receives a batch (possibly through
+            several calls) must not mutate its columns, even though the
+            mutation site alone looks innocent.
+            """,
+            """
+            def normalise(col):
+                col /= col.max()           # RPR009 when col is a
+            normalise(batch.ts)            # batch column
+            """,
+        ),
+        _doc(
+            "RPR010", "narrowing-cast",
+            """
+            Typeflow: a cast narrower than the inferred dtype/width of
+            the tracked column value flowing into it can truncate —
+            e.g. packed 64-bit keys cast to int32.
+            """,
+            """
+            key = pack_key(saddr, dport)   # inferred u64
+            small = key.astype(np.int32)   # RPR010
+            """,
+        ),
+        _doc(
+            "RPR011", "overflow-arithmetic",
+            """
+            Typeflow: arithmetic on packed-key integers stays within the
+            dtype's range — shifting or multiplying an already-wide
+            value can exceed 64 bits and wrap.
+            """,
+            """
+            key = (saddr << 48) | seq      # RPR011 if saddr is u32
+            """,
+        ),
+        _doc(
+            "RPR012", "unit-mixing",
+            """
+            Typeflow: quantities carrying different units (seconds,
+            packets, bytes, addresses) never combine arithmetically
+            without an explicit conversion — pps + bytes is meaningless
+            even though both are int64.
+            """,
+            """
+            total = duration_s + n_packets # RPR012
+            """,
+        ),
+        _doc(
+            "RPR013", "persisted-dtype-drift",
+            """
+            Typeflow: serialised column layouts match their declared
+            dtypes — writing a float64 column through a struct format
+            declared f4 quietly halves precision on disk.
+            """,
+            """
+            np.asarray(ts, dtype="f4").tofile(f)  # RPR013 — ts is f8
+            """,
+        ),
+        _doc(
+            "RPR014", "float-accumulation",
+            """
+            Typeflow: timestamp accumulation happens in float64 —
+            summing float32 epoch seconds loses sub-second precision
+            after ~2^24, which breaks inter-arrival analyses.
+            """,
+            """
+            acc = np.float32(0.0)
+            acc += batch.ts[i]             # RPR014
+            """,
+        ),
+        _doc(
+            "RPR015", "unguarded-shared-state",
+            """
+            Concurrency (lockset): an attribute of a lock-owning class
+            is written under an inferred guard on some paths yet read or
+            written bare on others, or mutated without any lock from a
+            thread entry point (Thread target, done callback,
+            socketserver handler).  The guard is the intersection of
+            must-held locksets over guarded accesses (Eraser-style),
+            with methods reachable only from __init__ exempt
+            (single-threaded initialisation phase).  Suppressions must
+            state the invariant that makes the bare access safe.
+            """,
+            """
+            class Q:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.done = 0
+                def bump(self):
+                    with self._lock:
+                        self.done += 1
+                def peek(self):
+                    return self.done       # RPR015 — bare read
+            """,
+        ),
+        _doc(
+            "RPR016", "lock-order-inversion",
+            """
+            Concurrency (lock-order): the global lock-acquisition graph
+            — an edge A -> B whenever B is acquired while A may be held,
+            tracked through the call graph — must stay acyclic, and a
+            non-reentrant lock must never be re-acquired while already
+            held.  Any cycle is a deadlock waiting for the right
+            interleaving; fix by imposing one global acquisition order.
+            """,
+            """
+            def ab(self):
+                with self._a:
+                    with self._b: ...
+            def ba(self):
+                with self._b:
+                    with self._a: ...      # RPR016 — cycle a <-> b
+            """,
+        ),
+        _doc(
+            "RPR017", "blocking-call-under-lock",
+            """
+            Concurrency: a call matching the configurable
+            blocking-calls blocklist (Future.result/cancel,
+            Executor.shutdown, Thread.join, file/socket I/O, time.sleep,
+            ...) is reached — directly or through the call graph — while
+            a lock may be held.  Every other thread then stalls behind
+            the blocked holder; this is the PR 9 cancel() bug class,
+            where Future.cancel() blocked on done callbacks with the
+            queue lock held.  Suppress only with the invariant that
+            makes the call non-blocking (e.g. the future has settled).
+            """,
+            """
+            def cancel(self, fut):
+                with self._lock:
+                    fut.cancel()           # RPR017 — may run callbacks
+            """,
+        ),
+        _doc(
+            "RPR018", "callback-reentrancy",
+            """
+            Concurrency: a callable registered via add_done_callback or
+            signal.signal re-acquires a non-reentrant threading.Lock
+            that may already be held at the registration site.  A
+            settled Future runs its callbacks synchronously on the
+            registering thread, so the callback deadlocks against its
+            own caller — the PR 9 bug that forced JobQueue's lock to
+            become an RLock.  Fix by making the lock reentrant or
+            registering outside the lock.
+            """,
+            """
+            def start(self):
+                with self._lock:           # plain Lock
+                    fut = pool.submit(work)
+                    fut.add_done_callback(self._on_done)  # RPR018
+            def _on_done(self, fut):
+                with self._lock: ...
+            """,
+        ),
+        _doc(
+            "RPR019", "atomicity-split",
+            """
+            Concurrency: check-then-act on guarded state across separate
+            lock scopes — a value read under one acquisition is written
+            back under a later acquisition of the same lock without
+            re-reading it, so the invariant validated in the first scope
+            may no longer hold when the write lands.  Hold the lock
+            across the whole sequence or re-validate in the second
+            scope.
+            """,
+            """
+            with self._lock:
+                n = self.count
+            recompute(n)
+            with self._lock:
+                self.count = n + 1         # RPR019 — stale n
+            """,
+        ),
+    )
+}
+
+
+def explain(code: str) -> Optional[str]:
+    """Render one rule's catalog entry, or None for an unknown code."""
+    doc = CATALOG.get(code)
+    if doc is None:
+        return None
+    example = textwrap.indent(doc.example, "    ")
+    return f"{doc.code} — {doc.name}\n\n{doc.summary}\n\nExample:\n{example}"

@@ -19,6 +19,7 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.lint.baseline import Baseline
+from repro.lint.catalog import explain
 from repro.lint.config import LintConfig, find_pyproject, load_config
 from repro.lint.diagnostics import Diagnostic, Severity
 from repro.lint.engine import REGISTRY
@@ -110,6 +111,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="list registered rules and exit",
     )
+    parser.add_argument(
+        "--explain", default=None, metavar="CODES",
+        help="print the catalog entry (doc paragraph + example) for the "
+             "given comma-separated rule codes and exit",
+    )
     return parser
 
 
@@ -120,6 +126,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.list_rules:
         for rule in REGISTRY.rules():
             print(f"{rule.code}  {rule.name:22s} {rule.description}")
+        return EXIT_CLEAN
+
+    if args.explain is not None:
+        try:
+            codes = _parse_codes(args.explain, "--explain")
+        except ValueError as exc:
+            print(f"repro-lint: error: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        entries = []
+        for code in codes:
+            entry = explain(code)
+            if entry is None:
+                print(f"repro-lint: error: unknown rule code: {code}",
+                      file=sys.stderr)
+                return EXIT_USAGE
+            entries.append(entry)
+        print("\n\n".join(entries))
         return EXIT_CLEAN
 
     try:

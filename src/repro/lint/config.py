@@ -14,6 +14,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
+from repro.lint.concurrency import DEFAULT_BLOCKING_CALLS
+
 try:  # Python >= 3.11
     import tomllib as _toml
 except ImportError:  # pragma: no cover - exercised only on 3.9/3.10
@@ -92,6 +94,12 @@ class LintConfig:
     )
     dtype_layouts: List[str] = field(
         default_factory=lambda: list(DEFAULT_DTYPE_LAYOUTS)
+    )
+    #: RPR017 blocklist: ``*.leaf`` patterns (attribute calls by leaf name
+    #: on non-literal receivers, project functions excluded), resolved
+    #: dotted callees, or bare builtin names.
+    blocking_calls: List[str] = field(
+        default_factory=lambda: list(DEFAULT_BLOCKING_CALLS)
     )
 
     def baseline_path(self) -> Path:
@@ -181,6 +189,7 @@ _KEY_MAP = {
     "schema-sites": "schema_sites",
     "executor-modules": "executor_modules",
     "dtype-layouts": "dtype_layouts",
+    "blocking-calls": "blocking_calls",
 }
 
 

@@ -40,6 +40,15 @@ from repro.lint.engine import (
     parse_suppressions,
 )
 from repro.lint._ast import BATCH_COLUMNS, import_aliases, resolve
+from repro.lint.concurrency import (
+    ConcurrencyAnalysis,
+    ConcurrencyExtractor,
+    ConcurrencyFunction,
+    FunctionConcurrency,
+    LockInfo,
+    concurrency_fingerprint,
+    lock_kind,
+)
 from repro.lint.typeflow import (
     FunctionTypeflow,
     TypeflowAnalysis,
@@ -49,7 +58,7 @@ from repro.lint.typeflow import (
 )
 
 #: Bump when the summary layout changes; every cache entry then misses.
-SUMMARY_SCHEMA_VERSION = 4
+SUMMARY_SCHEMA_VERSION = 5
 
 #: Canonical names whose call constructs a process pool.
 _POOL_CONSTRUCTORS = {
@@ -175,6 +184,8 @@ class FunctionSummary:
     random_calls: List[Tuple[str, int]] = field(default_factory=list)
     #: pass-3 dataflow record (events, returns, abstract call args)
     typeflow: Optional[Dict[str, Any]] = None
+    #: pass-4 concurrency record (lock scopes, accesses, calls, spawns)
+    concurrency: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -186,6 +197,7 @@ class FunctionSummary:
             "ext_reads": [list(e) for e in self.ext_reads],
             "random_calls": [list(r) for r in self.random_calls],
             "typeflow": self.typeflow,
+            "concurrency": self.concurrency,
         }
 
     @classmethod
@@ -200,6 +212,7 @@ class FunctionSummary:
             ext_reads=[(e[0], int(e[1])) for e in data["ext_reads"]],
             random_calls=[(r[0], int(r[1])) for r in data["random_calls"]],
             typeflow=data.get("typeflow"),
+            concurrency=data.get("concurrency"),
         )
 
 
@@ -223,6 +236,11 @@ class ModuleSummary:
     savez_sites: List[int] = field(default_factory=list)
     column_args: List[ColumnArg] = field(default_factory=list)
     functions: Dict[str, FunctionSummary] = field(default_factory=dict)
+    #: lock definition sites: [owner ('<module>' or class name), attr,
+    #: kind ('lock'/'rlock'), lineno]
+    lock_defs: List[List[Any]] = field(default_factory=list)
+    #: class index: name -> {'bases': [dotted...], 'lineno': n}
+    classes: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     #: inline-suppression table: [line, codes-or-None]
     suppressions: List[Tuple[int, Optional[List[str]]]] = field(
         default_factory=list
@@ -248,6 +266,11 @@ class ModuleSummary:
             "savez_sites": self.savez_sites,
             "column_args": [a.to_dict() for a in self.column_args],
             "functions": {q: f.to_dict() for q, f in self.functions.items()},
+            "lock_defs": [list(d) for d in self.lock_defs],
+            "classes": {
+                name: {"bases": list(v["bases"]), "lineno": v["lineno"]}
+                for name, v in self.classes.items()
+            },
             "suppressions": [
                 [line, codes] for line, codes in self.suppressions
             ],
@@ -279,6 +302,14 @@ class ModuleSummary:
             functions={
                 q: FunctionSummary.from_dict(f)
                 for q, f in data["functions"].items()
+            },
+            lock_defs=[
+                [d[0], d[1], d[2], int(d[3])]
+                for d in data.get("lock_defs", [])
+            ],
+            classes={
+                name: {"bases": list(v["bases"]), "lineno": int(v["lineno"])}
+                for name, v in data.get("classes", {}).items()
             },
             suppressions=[
                 (int(line), None if codes is None else list(codes))
@@ -433,6 +464,7 @@ class _Summarizer:
         def visit(node: ast.AST, klass: Optional[str]) -> None:
             for child in ast.iter_child_nodes(node):
                 if isinstance(child, ast.ClassDef):
+                    self._class_def(child)
                     visit(child, child.name)
                 elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
                     if stack:
@@ -452,6 +484,25 @@ class _Summarizer:
         self._call_index()
         return self.summary
 
+    # -- classes and locks ---------------------------------------------------
+
+    def _class_def(self, node: ast.ClassDef) -> None:
+        bases: List[str] = []
+        for base in node.bases:
+            dotted = resolve(base, self.aliases)
+            if dotted is not None:
+                bases.append(dotted)
+        self.summary.classes.setdefault(
+            node.name, {"bases": bases, "lineno": node.lineno}
+        )
+
+    def _lock_def(self, owner: str, attr: str, kind: str,
+                  lineno: int) -> None:
+        for entry in self.summary.lock_defs:
+            if entry[0] == owner and entry[1] == attr:
+                return
+        self.summary.lock_defs.append([owner, attr, kind, lineno])
+
     # -- module scope -------------------------------------------------------
 
     def _module_scope(self) -> None:
@@ -469,6 +520,9 @@ class _Summarizer:
                 if not isinstance(target, ast.Name):
                     continue
                 name = target.id
+                kind = lock_kind(value, self.aliases)
+                if kind is not None:
+                    self._lock_def("<module>", name, kind, node.lineno)
                 if _is_mutable_value(value, self.aliases):
                     out.mutable_globals.append(name)
                 if name.isupper():
@@ -533,6 +587,32 @@ class _Summarizer:
         ).extract(func)
         if flow.events or flow.returns or flow.calls:
             fsum.typeflow = flow.to_dict()
+
+        # Pass-4 concurrency record: lock scopes, self-attribute accesses,
+        # calls (deferred-flagged), callback registrations, thread spawns.
+        if klass is not None:
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Assign):
+                    continue
+                kind = lock_kind(node.value, self.aliases)
+                if kind is None:
+                    continue
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        self._lock_def(klass, target.attr, kind, node.lineno)
+        conc = ConcurrencyExtractor(
+            self.module,
+            klass,
+            self.aliases,
+            self.toplevel_defs,
+            lambda call: self._resolve_call(call, klass),
+        ).extract(func)
+        if conc.events:
+            fsum.concurrency = conc.to_dict()
 
         # Record dict literals returned / bound in this function as
         # persisted-schema candidates (keyed by qualname[.var]).
@@ -760,6 +840,7 @@ class ProjectContext:
                 )
         self._mutated: Optional[Dict[str, Set[int]]] = None
         self._typeflow: Optional[TypeflowAnalysis] = None
+        self._concurrency: Optional[ConcurrencyAnalysis] = None
 
     # -- lookups ------------------------------------------------------------
 
@@ -852,6 +933,62 @@ class ProjectContext:
         self._typeflow = analysis
         return analysis
 
+    # -- concurrency (pass 4) ------------------------------------------------
+
+    def concurrency_analysis(self) -> ConcurrencyAnalysis:
+        """Solved whole-program concurrency facts (locksets, lock order,
+        thread entries, inferred guards).
+
+        Memoised like :meth:`typeflow_analysis`: one fixpoint per lint
+        invocation, purely over the cached summaries.  Modules are
+        visited in sorted order, so lock ids, thread entries and every
+        downstream diagnostic are byte-identical at any worker count.
+        """
+        if self._concurrency is not None:
+            return self._concurrency
+        functions: Dict[str, ConcurrencyFunction] = {}
+        locks: Dict[str, LockInfo] = {}
+        class_bases: Dict[str, List[str]] = {}
+        for summary in self.iter_modules():
+            for name in sorted(summary.classes):
+                info = summary.classes[name]
+                class_bases[f"{summary.module}.{name}"] = list(info["bases"])
+            for entry in summary.lock_defs:
+                owner, attr, kind, lineno = entry
+                canon = (
+                    f"{summary.module}.{attr}"
+                    if owner == "<module>"
+                    else f"{summary.module}.{owner}.{attr}"
+                )
+                if canon not in locks:
+                    locks[canon] = LockInfo(
+                        canon=canon, kind=str(kind),
+                        rel_path=summary.rel_path, lineno=int(lineno),
+                    )
+            for qual in sorted(summary.functions):
+                fsum = summary.functions[qual]
+                if fsum.concurrency is None:
+                    continue
+                head = qual.split(".", 1)[0]
+                owner = (
+                    f"{summary.module}.{head}"
+                    if head in summary.classes
+                    else None
+                )
+                record = FunctionConcurrency.from_dict(fsum.concurrency)
+                functions[f"{summary.module}.{qual}"] = ConcurrencyFunction(
+                    fqname=f"{summary.module}.{qual}",
+                    module=summary.module,
+                    qualname=qual,
+                    rel_path=summary.rel_path,
+                    owner=owner,
+                    events=record.events,
+                )
+        analysis = ConcurrencyAnalysis(functions, locks, class_bases)
+        analysis.solve()
+        self._concurrency = analysis
+        return analysis
+
 
 # ---------------------------------------------------------------------------
 # content-addressed per-file cache
@@ -881,6 +1018,7 @@ class SummaryCache:
             "rules": [r.code for r in registry.rules()],
             "config": config.to_payload(include_root=False),
             "lattice": lattice_fingerprint(),
+            "concurrency": concurrency_fingerprint(),
         }
         return json.dumps(material, sort_keys=True)
 

@@ -3,6 +3,7 @@
 
 from repro.lint.rules import (  # noqa: F401  (import-for-registration)
     batch_flow,
+    concurrency_rules,
     determinism,
     float_eq,
     header_fields,
@@ -25,4 +26,5 @@ __all__ = [
     "schema_drift",
     "batch_flow",
     "typeflow_rules",
+    "concurrency_rules",
 ]

@@ -45,7 +45,7 @@ from urllib.parse import parse_qs, urlsplit
 from repro import __version__
 from repro.reporting import render_report_doc
 from repro.serve.jobs import JobSpec
-from repro.serve.queue import JobQueue, JobRecord
+from repro.serve.queue import JobQueue
 from repro.serve.scenario import ScenarioStore
 from repro.stream.stats import peak_rss_bytes, wall_clock
 
@@ -53,6 +53,10 @@ PathLike = Union[str, Path]
 
 #: (status code, JSON-able body) — the handler serialises.
 Reply = Tuple[int, Dict[str, Any]]
+
+#: Snapshot statuses with no further transitions (``running`` is derived,
+#: so it is non-terminal like ``queued``).
+_TERMINAL = ("done", "failed", "cancelled")
 
 
 class ServeApp:
@@ -63,7 +67,7 @@ class ServeApp:
         queue: JobQueue,
         scenarios: ScenarioStore,
         stats_interval: float = 1.0,
-    ):
+    ) -> None:
         self.queue = queue
         self.scenarios = scenarios
         self.stats_interval = max(0.05, float(stats_interval))
@@ -91,29 +95,30 @@ class ServeApp:
         except (TypeError, ValueError) as exc:
             return 400, {"error": str(exc)}
         rec = self.queue.submit(spec)
-        return (200 if rec.finished() else 202), {"job": rec.to_dict()}
+        doc = self.queue.snapshot(rec.job_id) or rec.to_dict()
+        return (200 if doc["status"] in _TERMINAL else 202), {"job": doc}
 
     def list_jobs(self) -> Reply:
-        return 200, {
-            "jobs": [rec.to_dict(with_result=False) for rec in self.queue.jobs()]
-        }
+        return 200, {"jobs": self.queue.snapshots(with_result=False)}
 
     def job(self, job_id: str, wait: float = 0.0) -> Reply:
-        rec = self.queue.get(job_id)
-        if rec is None:
+        doc = self.queue.snapshot(job_id)
+        if doc is None:
             return 404, {"error": f"no such job: {job_id}"}
-        if wait > 0 and not rec.finished():
-            rec = self.queue.wait(job_id, timeout=wait)
-        return (200 if rec.finished() else 202), {"job": rec.to_dict()}
+        if wait > 0 and doc["status"] not in _TERMINAL:
+            self.queue.wait(job_id, timeout=wait)
+            doc = self.queue.snapshot(job_id) or doc
+        return (200 if doc["status"] in _TERMINAL else 202), {"job": doc}
 
     def cancel_job(self, job_id: str) -> Reply:
-        rec = self.queue.get(job_id)
-        if rec is None:
+        doc = self.queue.snapshot(job_id)
+        if doc is None:
             return 404, {"error": f"no such job: {job_id}"}
         if self.queue.cancel(job_id):
-            return 200, {"job": self.queue.get(job_id).to_dict()}
+            return 200, {"job": self.queue.snapshot(job_id) or doc}
+        doc = self.queue.snapshot(job_id) or doc
         return 409, {
-            "error": f"job is {rec.status}; only queued jobs can be cancelled"
+            "error": f"job is {doc['status']}; only queued jobs can be cancelled"
         }
 
     # -- scenarios ----------------------------------------------------------
@@ -165,22 +170,26 @@ class ServeApp:
             return 200, {}, payload
         spec = dataclasses.replace(scenario.spec, kind="stream-report")
         rec = self.queue.submit(spec)
-        if wait > 0 and not rec.finished():
-            rec = self.queue.wait(rec.job_id, timeout=wait)
-        if rec.state.value == "done" and rec.result is not None:
+        doc = self.queue.snapshot(rec.job_id) or rec.to_dict()
+        if wait > 0 and doc["status"] not in _TERMINAL:
+            self.queue.wait(rec.job_id, timeout=wait)
+            doc = self.queue.snapshot(rec.job_id) or doc
+        result = doc.get("result")
+        if doc["status"] == "done" and result is not None:
             payload = {
-                key: rec.result[key]
+                key: result[key]
                 for key in ("report", "report_text", "fingerprints", "figures")
-                if key in rec.result
+                if key in result
             }
-            payload["job_id"] = rec.job_id
-            payload["capture"] = rec.result.get("capture")
+            payload["job_id"] = doc["job_id"]
+            payload["capture"] = result.get("capture")
             self.scenarios.cache_derived(scenario, payload)
             return 200, {}, payload
-        if rec.state.value == "failed":
-            return 500, {"error": rec.error or "job failed",
-                         "job": rec.to_dict(with_result=False)}, None
-        return 202, {"status": rec.status, "job_id": rec.job_id}, None
+        if doc["status"] == "failed":
+            job_doc = {k: v for k, v in doc.items() if k != "result"}
+            return 500, {"error": doc["error"] or "job failed",
+                         "job": job_doc}, None
+        return 202, {"status": doc["status"], "job_id": doc["job_id"]}, None
 
     def close(self) -> None:
         self.closing.set()
@@ -364,7 +373,7 @@ class ServeServer(ThreadingHTTPServer):
     allow_reuse_address = True
 
     def __init__(self, address: Tuple[str, int], app: ServeApp,
-                 verbose: bool = False):
+                 verbose: bool = False) -> None:
         super().__init__(address, _Handler)
         self.app = app
         self.verbose = verbose

@@ -77,7 +77,7 @@ class JobRecord:
     attempts: int = 0
     #: Monotonic submission order within this queue instance.
     submitted_seq: int = 0
-    future: Optional[Future] = dataclasses.field(
+    future: Optional[Future[Dict[str, Any]]] = dataclasses.field(
         default=None, repr=False, compare=False
     )
     #: Pool generation the current future was submitted into (retry logic).
@@ -136,7 +136,7 @@ class JobQueue:
         max_retries: int = 1,
         checkpoint_every: int = 8,
         task: Optional[Callable[[Dict[str, Any]], Dict[str, Any]]] = None,
-    ):
+    ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.cache = CaptureCache(cache_dir)
@@ -219,9 +219,13 @@ class JobQueue:
     def submit(self, spec: JobSpec) -> JobRecord:
         """Submit a job; identical live or completed jobs coalesce.
 
-        A queued/running/done record under the same key is returned as-is
-        (dedup hit).  A failed or cancelled record is revived with a fresh
-        attempt budget — resubmission is the retry-after-failure path.
+        A QUEUED or DONE record under the same key is returned as-is
+        (dedup hit).  Running jobs coalesce through the QUEUED arm:
+        ``running`` is never a stored state — a record stays QUEUED while
+        its live future executes and :attr:`JobRecord.status` derives
+        ``running`` from the future — so matching on QUEUED covers them.
+        A failed or cancelled record is revived with a fresh attempt
+        budget — resubmission is the retry-after-failure path.
         """
         job_id = self.job_key(spec)
         with self._lock:
@@ -229,6 +233,8 @@ class JobQueue:
                 raise RuntimeError("queue is closed")
             self.submissions += 1
             rec = self._jobs.get(job_id)
+            # QUEUED covers running jobs: running is derived from the live
+            # future, never stored (see docstring).
             if rec is not None and rec.state in (JobState.QUEUED, JobState.DONE):
                 self.dedup_hits += 1
                 return rec
@@ -272,7 +278,7 @@ class JobQueue:
             lambda fut, job_id=rec.job_id: self._on_done(job_id, fut)
         )
 
-    def _on_done(self, job_id: str, future: Future) -> None:
+    def _on_done(self, job_id: str, future: Future[Dict[str, Any]]) -> None:
         with self._lock:
             rec = self._jobs.get(job_id)
             if rec is None or rec.future is not future:
@@ -287,7 +293,9 @@ class JobQueue:
                 return
             exc = future.exception()
             if exc is None:
-                rec.result = future.result()
+                # Invariant: _on_done fires only after the future settles,
+                # so result() returns immediately without blocking.
+                rec.result = future.result()  # repro-lint: disable=RPR017
                 rec.state = JobState.DONE
                 rec.error = None
                 self.completed += 1
@@ -322,7 +330,9 @@ class JobQueue:
             return
         pool, self._pool = self._pool, None
         self._generation += 1
-        pool.shutdown(wait=False)
+        # Invariant: wait=False never joins workers — shutdown just flips
+        # the executor's accepting flag and returns immediately.
+        pool.shutdown(wait=False)  # repro-lint: disable=RPR017
 
     # -- queries ------------------------------------------------------------
 
@@ -333,6 +343,33 @@ class JobQueue:
     def jobs(self) -> List[JobRecord]:
         with self._lock:
             return sorted(self._jobs.values(), key=lambda r: r.submitted_seq)
+
+    def snapshot(
+        self, job_id: str, with_result: bool = True
+    ) -> Optional[Dict[str, Any]]:
+        """One record's ``to_dict`` view, taken atomically under the lock.
+
+        Callers outside this class must not read record fields bare — the
+        executing thread mutates ``state``/``result``/``error`` under
+        ``_lock``, and a bare read can see a half-applied transition
+        (e.g. ``state`` already DONE but ``result`` still ``None``).
+        """
+        with self._lock:
+            rec = self._jobs.get(job_id)
+            if rec is None:
+                return None
+            return rec.to_dict(with_result=with_result)
+
+    def snapshots(self, with_result: bool = False) -> List[Dict[str, Any]]:
+        """All records in submission order, snapshotted under one lock
+        acquisition so the listing is a consistent cut."""
+        with self._lock:
+            return [
+                rec.to_dict(with_result=with_result)
+                for rec in sorted(
+                    self._jobs.values(), key=lambda r: r.submitted_seq
+                )
+            ]
 
     def wait(self, job_id: str, timeout: float = 60.0) -> JobRecord:
         """Block until the job finishes (or ``timeout`` elapses)."""
@@ -421,7 +458,10 @@ class JobQueue:
         }
         path = self._record_path(rec.job_id)
         tmp = path.with_name(path.name + f".tmp{os.getpid()}")
-        tmp.write_text(json.dumps(doc, sort_keys=True))
+        # Invariant: the on-disk record stream must serialise with the
+        # in-memory state transition it mirrors (crash consistency), and
+        # the payload is one small local JSON document.
+        tmp.write_text(json.dumps(doc, sort_keys=True))  # repro-lint: disable=RPR017
         os.replace(tmp, path)
 
     def _restore(self) -> None:

@@ -27,7 +27,7 @@ import os
 import re
 import threading
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro import __version__
 from repro.serve.jobs import JobSpec
@@ -115,13 +115,13 @@ class ScenarioStore:
     ``state_dir=None`` keeps scenarios in memory only.
     """
 
-    def __init__(self, state_dir: Optional[PathLike] = None):
+    def __init__(self, state_dir: Optional[PathLike] = None) -> None:
         self.root: Optional[Path] = None
         if state_dir is not None:
             self.root = Path(state_dir) / "scenarios"
             self.root.mkdir(parents=True, exist_ok=True)
         self._lock = threading.Lock()
-        self._scenarios: Dict[tuple, Scenario] = {}
+        self._scenarios: Dict[Tuple[str, str], Scenario] = {}
         if self.root is not None:
             self._restore()
 
@@ -209,7 +209,10 @@ class ScenarioStore:
             "scenario": scenario.to_dict(with_derived=True),
         }
         tmp = path.with_name(path.name + f".tmp{os.getpid()}")
-        tmp.write_text(json.dumps(doc, sort_keys=True))
+        # Invariant: persisted scenarios must serialise with the in-memory
+        # transition they mirror (crash consistency); the payload is one
+        # small local JSON document.
+        tmp.write_text(json.dumps(doc, sort_keys=True))  # repro-lint: disable=RPR017
         os.replace(tmp, path)
 
     def _restore(self) -> None:

@@ -1,0 +1,647 @@
+"""Tests for the concurrency pass (repro.lint.concurrency, RPR015-019).
+
+Each rule gets a seeded-violation fixture plus a clean counterpart, the
+two PR 9 bug classes are pinned as regression fixtures (blocking
+``Future.cancel`` under the lock; done-callback reentry into a
+non-reentrant lock), and the pass is exercised for worker-count
+byte-identical diagnostics, suppression handling, the configurable
+blocking-call blocklist, and the ``--explain`` catalog.
+"""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintConfig, lint_repository
+from repro.lint.catalog import CATALOG, explain
+from repro.lint.cli import main
+from repro.lint.concurrency import (
+    DEFAULT_BLOCKING_CALLS,
+    FunctionConcurrency,
+    concurrency_fingerprint,
+    match_blocking,
+)
+from repro.lint.engine import REGISTRY
+
+#: File rules are exercised by tests/test_lint.py; fixtures here disable
+#: them so each assertion sees only the concurrency rule under test.
+FILE_RULES = ["RPR001", "RPR002", "RPR003", "RPR004", "RPR005"]
+
+
+def write_tree(root, files):
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+
+
+def run_project(tmp_path, files, **cfg_kwargs):
+    write_tree(tmp_path, files)
+    cfg_kwargs.setdefault("paths", ["pkg"])
+    cfg_kwargs.setdefault("disable", FILE_RULES)
+    cfg_kwargs.setdefault("dtype_layouts", [])
+    config = LintConfig(root=tmp_path, **cfg_kwargs)
+    diags, project, stats = lint_repository(config, use_cache=False)
+    return diags, project, stats
+
+
+def codes(diags):
+    return [d.code for d in diags]
+
+
+# ---------------------------------------------------------------------------
+# RPR015: unguarded shared state
+# ---------------------------------------------------------------------------
+
+
+RPR015_FILES = {
+    "pkg/__init__.py": "",
+    "pkg/counter.py": """\
+        import threading
+
+        class Counter:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.done = 0
+
+            def bump(self):
+                with self._lock:
+                    self.done = self.done + 1
+
+            def peek(self):
+                return self.done
+    """,
+}
+
+
+class TestUnguardedSharedState:
+    def test_bare_read_of_guarded_attr_flagged(self, tmp_path):
+        diags, _, _ = run_project(tmp_path, RPR015_FILES)
+        assert codes(diags) == ["RPR015"]
+        assert "'done'" in diags[0].message
+        assert "_lock" in diags[0].message
+        assert "peek" in diags[0].message
+
+    def test_read_under_lock_clean(self, tmp_path):
+        files = dict(RPR015_FILES)
+        files["pkg/counter.py"] = textwrap.dedent(
+            files["pkg/counter.py"]
+        ).replace(
+            "    def peek(self):\n        return self.done",
+            "    def peek(self):\n"
+            "        with self._lock:\n"
+            "            return self.done",
+        )
+        diags, _, _ = run_project(tmp_path, files)
+        assert diags == []
+
+    def test_unguarded_write_from_thread_target_flagged(self, tmp_path):
+        files = {
+            "pkg/__init__.py": "",
+            "pkg/worker.py": """\
+                import threading
+
+                class Worker:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self.count = 0
+
+                    def start(self):
+                        thread = threading.Thread(target=self._run)
+                        thread.start()
+
+                    def _run(self):
+                        self.count = self.count + 1
+
+                    def total(self):
+                        with self._lock:
+                            return self.count
+            """,
+        }
+        diags, _, _ = run_project(tmp_path, files)
+        assert "RPR015" in codes(diags)
+        assert any("thread entry" in d.message for d in diags)
+
+    def test_init_phase_helper_not_flagged(self, tmp_path):
+        # Eraser-style initialisation refinement: _restore is reachable
+        # only from __init__, before the object is shared.
+        files = {
+            "pkg/__init__.py": "",
+            "pkg/store.py": """\
+                import threading
+
+                class Store:
+                    def __init__(self, items):
+                        self._lock = threading.Lock()
+                        self._items = {}
+                        self._restore(items)
+
+                    def _restore(self, items):
+                        for key in items:
+                            self._items[key] = True
+
+                    def add(self, key):
+                        with self._lock:
+                            self._items[key] = True
+            """,
+        }
+        diags, _, _ = run_project(tmp_path, files)
+        assert diags == []
+
+
+# ---------------------------------------------------------------------------
+# RPR016: lock-order inversion
+# ---------------------------------------------------------------------------
+
+
+RPR016_FILES = {
+    "pkg/__init__.py": "",
+    "pkg/pair.py": """\
+        import threading
+
+        class Pair:
+            def __init__(self):
+                self._alpha = threading.Lock()
+                self._beta = threading.Lock()
+
+            def forward(self):
+                with self._alpha:
+                    with self._beta:
+                        pass
+
+            def backward(self):
+                with self._beta:
+                    with self._alpha:
+                        pass
+    """,
+}
+
+
+class TestLockOrderInversion:
+    def test_opposite_nesting_orders_flagged(self, tmp_path):
+        diags, _, _ = run_project(tmp_path, RPR016_FILES)
+        assert codes(diags) == ["RPR016"]
+        assert "_alpha" in diags[0].message
+        assert "_beta" in diags[0].message
+        assert "cycle" in diags[0].message
+
+    def test_consistent_order_clean(self, tmp_path):
+        files = dict(RPR016_FILES)
+        files["pkg/pair.py"] = textwrap.dedent(files["pkg/pair.py"]).replace(
+            "        with self._beta:\n            with self._alpha:",
+            "        with self._alpha:\n            with self._beta:",
+        )
+        diags, _, _ = run_project(tmp_path, files)
+        assert diags == []
+
+    def test_reacquire_through_call_graph_flagged(self, tmp_path):
+        files = {
+            "pkg/__init__.py": "",
+            "pkg/once.py": """\
+                import threading
+
+                class Once:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+
+                    def outer(self):
+                        with self._lock:
+                            self.inner()
+
+                    def inner(self):
+                        with self._lock:
+                            pass
+            """,
+        }
+        diags, _, _ = run_project(tmp_path, files)
+        assert codes(diags) == ["RPR016"]
+        assert "re-acquired" in diags[0].message
+        assert "Once.outer" in diags[0].message
+
+    def test_rlock_reacquire_clean(self, tmp_path):
+        files = {
+            "pkg/__init__.py": "",
+            "pkg/once.py": """\
+                import threading
+
+                class Once:
+                    def __init__(self):
+                        self._lock = threading.RLock()
+
+                    def outer(self):
+                        with self._lock:
+                            self.inner()
+
+                    def inner(self):
+                        with self._lock:
+                            pass
+            """,
+        }
+        diags, _, _ = run_project(tmp_path, files)
+        assert diags == []
+
+
+# ---------------------------------------------------------------------------
+# RPR017: blocking call under lock (the PR 9 cancel() bug class)
+# ---------------------------------------------------------------------------
+
+
+RPR017_FILES = {
+    "pkg/__init__.py": "",
+    "pkg/cancelq.py": """\
+        import threading
+
+        class CancelQueue:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._futs = {}
+
+            def cancel(self, key):
+                with self._lock:
+                    fut = self._futs.pop(key, None)
+                    if fut is None:
+                        return False
+                    return fut.cancel()
+    """,
+}
+
+
+class TestBlockingCallUnderLock:
+    def test_future_cancel_under_lock_flagged(self, tmp_path):
+        # Regression fixture for the PR 9 bug: Future.cancel() runs done
+        # callbacks synchronously and blocked with the queue lock held.
+        diags, _, _ = run_project(tmp_path, RPR017_FILES)
+        assert codes(diags) == ["RPR017"]
+        assert "fut.cancel()" in diags[0].message
+        assert "*.cancel" in diags[0].message
+        assert "_lock" in diags[0].message
+
+    def test_cancel_outside_lock_clean(self, tmp_path):
+        files = {
+            "pkg/__init__.py": "",
+            "pkg/cancelq.py": """\
+                import threading
+
+                class CancelQueue:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._futs = {}
+
+                    def cancel(self, key):
+                        with self._lock:
+                            fut = self._futs.pop(key, None)
+                        if fut is None:
+                            return False
+                        return fut.cancel()
+            """,
+        }
+        diags, _, _ = run_project(tmp_path, files)
+        assert diags == []
+
+    def test_blocking_call_reached_through_helper_flagged(self, tmp_path):
+        # The lock flows into the helper's entry lockset via the call
+        # graph (`*_locked` helper convention); the helper's own call
+        # site is the one flagged, with the caller chain in the message.
+        files = {
+            "pkg/__init__.py": "",
+            "pkg/sleeper.py": """\
+                import threading
+                import time
+
+                class Sleeper:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+
+                    def tick(self):
+                        with self._lock:
+                            self._pause_locked()
+
+                    def _pause_locked(self):
+                        time.sleep(0.1)
+            """,
+        }
+        diags, _, _ = run_project(tmp_path, files)
+        assert codes(diags) == ["RPR017"]
+        assert "time.sleep" in diags[0].message
+        assert "held on entry" in diags[0].message
+        assert "Sleeper.tick" in diags[0].message
+
+    def test_suppression_with_invariant_silences(self, tmp_path):
+        files = dict(RPR017_FILES)
+        files["pkg/cancelq.py"] = files["pkg/cancelq.py"].replace(
+            "return fut.cancel()",
+            "return fut.cancel()  # repro-lint: disable=RPR017  # settled",
+        )
+        diags, _, _ = run_project(tmp_path, files)
+        assert diags == []
+
+    def test_blocklist_is_configurable(self, tmp_path):
+        files = {
+            "pkg/__init__.py": "",
+            "pkg/custom.py": """\
+                import threading
+
+                class Custom:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+
+                    def poke(self, conn):
+                        with self._lock:
+                            conn.frobnicate()
+            """,
+        }
+        diags, _, _ = run_project(tmp_path, files)
+        assert diags == []
+        diags, _, _ = run_project(
+            tmp_path, files, blocking_calls=["*.frobnicate"]
+        )
+        assert codes(diags) == ["RPR017"]
+        assert "*.frobnicate" in diags[0].message
+
+    def test_project_method_named_like_blocking_leaf_clean(self, tmp_path):
+        # `*.cancel` must not match a call resolved to a project method
+        # that merely shares the leaf name.
+        files = {
+            "pkg/__init__.py": "",
+            "pkg/ownq.py": """\
+                import threading
+
+                class OwnQueue:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self.tally = 0
+
+                    def drop(self):
+                        with self._lock:
+                            self.cancel()
+
+                    def cancel(self):
+                        self.tally = self.tally + 1
+            """,
+        }
+        diags, _, _ = run_project(tmp_path, files)
+        assert "RPR017" not in codes(diags)
+
+
+# ---------------------------------------------------------------------------
+# RPR018: callback reentrancy (the other PR 9 bug class)
+# ---------------------------------------------------------------------------
+
+
+RPR018_FILES = {
+    "pkg/__init__.py": "",
+    "pkg/reenter.py": """\
+        import threading
+
+        class ReenterQueue:
+            def __init__(self, pool):
+                self._lock = threading.Lock()
+                self._pool = pool
+                self.done = 0
+
+            def start(self, payload):
+                with self._lock:
+                    fut = self._pool.submit(run_job, payload)
+                    fut.add_done_callback(self._on_done)
+                    return fut
+
+            def _on_done(self, fut):
+                with self._lock:
+                    self.done = self.done + 1
+
+        def run_job(payload):
+            return payload
+    """,
+}
+
+
+class TestCallbackReentrancy:
+    def test_done_callback_reentry_into_plain_lock_flagged(self, tmp_path):
+        # Regression fixture for the PR 9 bug: a settled Future runs its
+        # done callbacks synchronously inside add_done_callback, so the
+        # callback re-acquiring the held non-reentrant lock deadlocks.
+        diags, _, _ = run_project(tmp_path, RPR018_FILES)
+        assert codes(diags) == ["RPR018"]
+        assert "_on_done" in diags[0].message
+        assert "synchronously" in diags[0].message
+        assert "RLock" in diags[0].message
+
+    def test_rlock_makes_reentry_safe(self, tmp_path):
+        files = dict(RPR018_FILES)
+        files["pkg/reenter.py"] = files["pkg/reenter.py"].replace(
+            "threading.Lock()", "threading.RLock()"
+        )
+        diags, _, _ = run_project(tmp_path, files)
+        assert diags == []
+
+    def test_registration_outside_lock_clean(self, tmp_path):
+        files = dict(RPR018_FILES)
+        files["pkg/reenter.py"] = textwrap.dedent(
+            files["pkg/reenter.py"]
+        ).replace(
+            """\
+    def start(self, payload):
+        with self._lock:
+            fut = self._pool.submit(run_job, payload)
+            fut.add_done_callback(self._on_done)
+            return fut
+""",
+            """\
+    def start(self, payload):
+        with self._lock:
+            fut = self._pool.submit(run_job, payload)
+        fut.add_done_callback(self._on_done)
+        return fut
+""",
+        )
+        diags, _, _ = run_project(tmp_path, files)
+        assert diags == []
+
+
+# ---------------------------------------------------------------------------
+# RPR019: atomicity split
+# ---------------------------------------------------------------------------
+
+
+RPR019_FILES = {
+    "pkg/__init__.py": "",
+    "pkg/budget.py": """\
+        import threading
+
+        class Budget:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.count = 0
+
+            def bump(self, limit):
+                with self._lock:
+                    n = self.count
+                if n >= limit:
+                    return False
+                with self._lock:
+                    self.count = n + 1
+                return True
+    """,
+}
+
+
+class TestAtomicitySplit:
+    def test_check_then_act_across_scopes_flagged(self, tmp_path):
+        diags, _, _ = run_project(tmp_path, RPR019_FILES)
+        assert codes(diags) == ["RPR019"]
+        assert "'count'" in diags[0].message
+        assert "separate acquisition" in diags[0].message
+
+    def test_single_scope_clean(self, tmp_path):
+        files = {
+            "pkg/__init__.py": "",
+            "pkg/budget.py": """\
+                import threading
+
+                class Budget:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self.count = 0
+
+                    def bump(self, limit):
+                        with self._lock:
+                            if self.count >= limit:
+                                return False
+                            self.count = self.count + 1
+                        return True
+            """,
+        }
+        diags, _, _ = run_project(tmp_path, files)
+        assert diags == []
+
+    def test_revalidating_read_in_second_scope_clean(self, tmp_path):
+        files = dict(RPR019_FILES)
+        files["pkg/budget.py"] = textwrap.dedent(
+            files["pkg/budget.py"]
+        ).replace(
+            "        with self._lock:\n"
+            "            self.count = n + 1\n",
+            "        with self._lock:\n"
+            "            if self.count != n:\n"
+            "                return False\n"
+            "            self.count = n + 1\n",
+        )
+        diags, _, _ = run_project(tmp_path, files)
+        assert diags == []
+
+
+# ---------------------------------------------------------------------------
+# determinism, serialisation, config plumbing
+# ---------------------------------------------------------------------------
+
+
+ALL_FIXTURES = {}
+for fixture in (RPR015_FILES, RPR016_FILES, RPR017_FILES, RPR018_FILES,
+                RPR019_FILES):
+    ALL_FIXTURES.update(fixture)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_diagnostics_identical_at_any_worker_count(
+        self, tmp_path, workers
+    ):
+        write_tree(tmp_path, ALL_FIXTURES)
+        config = LintConfig(
+            root=tmp_path, paths=["pkg"], disable=FILE_RULES,
+            dtype_layouts=[],
+        )
+        serial, _, _ = lint_repository(config, workers=0, use_cache=False)
+        parallel, _, _ = lint_repository(
+            config, workers=workers, use_cache=False
+        )
+        assert sorted(codes(serial)) == [
+            "RPR015", "RPR016", "RPR017", "RPR018", "RPR019",
+        ]
+        assert parallel == serial
+
+    def test_warm_cache_reproduces_findings(self, tmp_path):
+        write_tree(tmp_path, ALL_FIXTURES)
+        cache_dir = tmp_path / ".cache"
+        config = LintConfig(
+            root=tmp_path, paths=["pkg"], disable=FILE_RULES,
+            dtype_layouts=[],
+        )
+        cold, _, stats_cold = lint_repository(
+            config, workers=0, cache_dir=cache_dir, use_cache=True
+        )
+        warm, _, stats_warm = lint_repository(
+            config, workers=0, cache_dir=cache_dir, use_cache=True
+        )
+        assert warm == cold
+        assert stats_warm.cache_hits == stats_cold.files
+
+    def test_fingerprint_is_stable(self):
+        assert concurrency_fingerprint() == concurrency_fingerprint()
+
+    def test_function_concurrency_roundtrips(self):
+        conc = FunctionConcurrency(events=[
+            {"k": "acquire", "lineno": 3, "col": 4, "held": [],
+             "deferred": False, "lock": "pkg.m.C._lock", "scope": "3:9"},
+        ])
+        assert FunctionConcurrency.from_dict(conc.to_dict()) == conc
+
+    def test_select_scopes_to_one_rule(self, tmp_path):
+        diags, _, _ = run_project(tmp_path, ALL_FIXTURES, select=["RPR017"])
+        assert sorted(codes(diags)) == ["RPR017"]
+
+
+class TestBlockingMatch:
+    def test_exact_name_matches_resolved_callee(self):
+        event = {"callee": "time.sleep", "leaf": "sleep", "recv": "name"}
+        assert match_blocking(
+            event, DEFAULT_BLOCKING_CALLS, frozenset()
+        ) == "time.sleep"
+
+    def test_leaf_pattern_skips_const_receiver(self):
+        # ", ".join(...) must not match a hypothetical *.join blocklist
+        # entry aimed at Thread.join.
+        event = {"callee": None, "leaf": "join", "recv": "const"}
+        assert match_blocking(event, DEFAULT_BLOCKING_CALLS, frozenset()) is None
+
+    def test_leaf_pattern_skips_project_callee(self):
+        event = {"callee": "pkg.m.Q.cancel", "leaf": "cancel", "recv": "self"}
+        assert match_blocking(
+            event, DEFAULT_BLOCKING_CALLS, frozenset(["pkg.m.Q.cancel"])
+        ) is None
+
+
+# ---------------------------------------------------------------------------
+# catalog / --explain
+# ---------------------------------------------------------------------------
+
+
+class TestCatalog:
+    def test_catalog_covers_exactly_the_registered_rules(self):
+        assert sorted(CATALOG) == sorted(r.code for r in REGISTRY.rules())
+
+    def test_every_entry_has_summary_and_example(self):
+        for code, doc in CATALOG.items():
+            assert doc.summary.strip(), code
+            assert doc.example.strip(), code
+
+    def test_explain_renders_code_name_and_example(self):
+        text = explain("RPR018")
+        assert text is not None
+        assert text.startswith("RPR018")
+        assert "callback-reentrancy" in text
+        assert "Example:" in text
+
+    def test_explain_unknown_code_is_none(self):
+        assert explain("RPR999") is None
+
+    def test_cli_explain_prints_entry(self, capsys):
+        assert main(["--explain", "RPR015,RPR019"]) == 0
+        out = capsys.readouterr().out
+        assert "RPR015" in out
+        assert "RPR019" in out
+
+    def test_cli_explain_rejects_unknown_code(self, capsys):
+        assert main(["--explain", "RPR999"]) == 2
+        assert "unknown rule code" in capsys.readouterr().err

@@ -563,7 +563,7 @@ class TestCli:
     def test_sarif_results_cover_all_registered_rules(self):
         sarif = to_sarif([], REGISTRY)
         rule_ids = [r["id"] for r in sarif["runs"][0]["tool"]["driver"]["rules"]]
-        assert rule_ids == [f"RPR{i:03d}" for i in range(1, 15)]
+        assert rule_ids == [f"RPR{i:03d}" for i in range(1, 20)]
 
     def test_update_baseline_prunes_stale_entry(self, tmp_path, capsys):
         pyproject = write_cli_project(tmp_path, RPR006_COLLIDING)
